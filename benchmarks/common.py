@@ -1,0 +1,55 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one evaluable claim of the paper (DESIGN.md's
+experiment index), prints its table, writes it to ``benchmarks/out/`` for
+EXPERIMENTS.md, and asserts the claim's *shape* (who wins, which bound
+holds) so that a green benchmark run is itself a validation pass.
+
+pytest-benchmark integration: each experiment runs once inside
+``benchmark.pedantic(..., rounds=1)`` so ``--benchmark-only`` executes it
+and reports its wall-clock alongside.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def emit(experiment: str, title: str, headers, rows, notes: str = "") -> str:
+    """Print and persist one experiment table."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    table = format_table(headers, rows)
+    text = f"# {experiment}: {title}\n{table}\n"
+    if notes:
+        text += f"\n{notes}\n"
+    print("\n" + text)
+    with open(os.path.join(OUT_DIR, f"{experiment}.txt"), "w") as fh:
+        fh.write(text)
+    return text
+
+
+def geomean(values) -> float:
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

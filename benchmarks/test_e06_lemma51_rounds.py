@@ -1,0 +1,81 @@
+"""E6 (Lemma 5.1 + Theorem 5.3): distributed round complexity.
+
+The bound is ``O(Time(MIS) · log n · log(1/ε) · log(pmax/pmin))``.  We
+sweep each parameter independently (others pinned) and regenerate the
+scaling series: rounds must grow sub-linearly in n (logarithmically many
+epochs) and the per-stage step count must respect the kill-chain bound
+``1 + log₂(pmax/pmin)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import random_tree_problem, solve_tree_unit
+
+from common import emit
+
+
+def run_experiment():
+    rows = []
+    series: dict[str, list] = {"n": [], "eps": [], "profit": []}
+
+    # --- sweep n (epochs ~ 2 log n) ---
+    for n in [16, 32, 64, 128, 256]:
+        p = random_tree_problem(n=n, m=n, r=1, seed=1, profit_ratio=8.0)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=1)
+        rows.append(["n sweep", f"n={n}", sol.stats["epochs"],
+                     sol.stats["steps"], sol.stats["total_rounds"],
+                     sol.stats["max_steps_in_a_stage"]])
+        series["n"].append((n, sol.stats["epochs"], sol.stats["total_rounds"]))
+
+    # --- sweep ε (stages ~ log_ξ ε) ---
+    for eps in [0.4, 0.2, 0.1, 0.05]:
+        p = random_tree_problem(n=48, m=48, r=1, seed=2, profit_ratio=8.0)
+        sol = solve_tree_unit(p, epsilon=eps, seed=2)
+        rows.append(["eps sweep", f"ε={eps}", sol.stats["epochs"],
+                     sol.stats["steps"], sol.stats["total_rounds"],
+                     sol.stats["max_steps_in_a_stage"]])
+        series["eps"].append((eps, sol.stats["total_rounds"]))
+
+    # --- sweep pmax/pmin (steps/stage ≤ 1 + log₂ ratio) ---
+    for ratio in [1.5, 8.0, 64.0, 512.0]:
+        p = random_tree_problem(n=48, m=96, r=1, seed=3, profit_ratio=ratio)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=3)
+        pmin, pmax = p.profit_range()
+        bound = 1 + math.log2(pmax / pmin)
+        rows.append(["profit sweep", f"pmax/pmin={ratio:g}", sol.stats["epochs"],
+                     sol.stats["steps"], sol.stats["total_rounds"],
+                     f"{sol.stats['max_steps_in_a_stage']} (≤{bound:.1f})"])
+        series["profit"].append(
+            (pmax / pmin, sol.stats["max_steps_in_a_stage"], bound)
+        )
+
+    emit(
+        "E06",
+        "Lemma 5.1 / Thm 5.3: round complexity scaling",
+        ["sweep", "value", "epochs", "steps", "total rounds", "max steps/stage"],
+        rows,
+        notes=(
+            "Paper: rounds = O(Time(MIS)·log n·log(1/ε)·log(pmax/pmin)); "
+            "steps per stage ≤ 1 + log₂(pmax/pmin) (kill chains, Claim 5.2)."
+        ),
+    )
+    return series
+
+
+def test_lemma51_round_complexity(benchmark):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Epochs grow logarithmically: 16× more vertices ⇒ ≤ +9 epochs
+    # (2·log₂ 16 = 8, plus slack 1).
+    n_small = dict((n, e) for n, e, _ in series["n"])
+    assert n_small[256] - n_small[16] <= 2 * math.log2(256 / 16) + 2
+    # Rounds grow with log(1/ε): ε=0.05 costs more rounds than ε=0.4.
+    eps_rounds = dict(series["eps"])
+    assert eps_rounds[0.05] >= eps_rounds[0.4]
+    # Kill-chain bound holds on every profit sweep point.
+    for _ratio, steps, bound in series["profit"]:
+        assert steps <= bound + 1e-9
+    # Rounds stay polylogarithmic in practice: far below m·r steps.
+    for n, _e, rounds in series["n"]:
+        assert rounds < 40 * (math.log2(n) ** 2 + 10)

@@ -1,0 +1,76 @@
+"""E7 (Theorem 6.3 / Lemma 6.2): arbitrary heights on trees.
+
+Measured ratios for the (80+ε) combined algorithm and its two halves —
+wide-via-unit (7+ε against Opt₁) and narrow (73+ε against Opt₂) — across
+height regimes.  Shape claims: all bounds hold; the combined solution is
+never worse than either half restricted to its own population.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    random_tree_problem,
+    solve_optimal,
+    solve_tree_arbitrary,
+    solve_tree_narrow,
+    solve_tree_unit,
+)
+from repro.core.solution import verify_tree_solution
+
+from common import emit, geomean
+
+EPS = 0.1
+REGIMES = ["unit", "narrow", "wide", "mixed", "bimodal"]
+
+
+def run_experiment():
+    rows = []
+    checks = []
+    for regime in REGIMES:
+        ratios, rounds = [], []
+        for seed in range(3):
+            p = random_tree_problem(n=20, m=14, r=2, seed=seed,
+                                    height_regime=regime, hmin=0.1)
+            sol = solve_tree_arbitrary(p, epsilon=EPS, seed=seed)
+            verify_tree_solution(p, sol, unit_height=False)
+            opt = solve_optimal(p)
+            ratio = opt.profit / max(sol.profit, 1e-12)
+            ratios.append(ratio)
+            rounds.append(sol.stats["total_rounds"])
+            checks.append((regime, ratio))
+        rows.append([regime, geomean(ratios), max(ratios),
+                     sum(rounds) / len(rounds)])
+
+    # Narrow-only Lemma 6.2 on its own row.
+    narrow_ratios = []
+    for seed in range(3):
+        p = random_tree_problem(n=20, m=14, r=1, seed=seed + 50,
+                                height_regime="narrow", hmin=0.15)
+        sol = solve_tree_narrow(p, epsilon=EPS, seed=seed)
+        opt = solve_optimal(p)
+        narrow_ratios.append(opt.profit / max(sol.profit, 1e-12))
+    rows.append(["narrow-only (Lemma 6.2)", geomean(narrow_ratios),
+                 max(narrow_ratios), "-"])
+
+    emit(
+        "E07",
+        f"Theorem 6.3: tree arbitrary heights (80+ε), ε={EPS}",
+        ["height regime", "OPT/ALG geo", "OPT/ALG max", "avg rounds"],
+        rows,
+        notes=(
+            f"Paper bounds: combined ≤ 80/(1-ε) = {80/(1-EPS):.1f}; "
+            f"narrow-only ≤ 73/(1-ε) = {73/(1-EPS):.1f}. Measured ratios "
+            "should sit far below."
+        ),
+    )
+    return checks, narrow_ratios
+
+
+def test_thm63_tree_arbitrary_ratio(benchmark):
+    checks, narrow_ratios = benchmark.pedantic(run_experiment, rounds=1,
+                                               iterations=1)
+    for regime, ratio in checks:
+        assert ratio <= 80 / (1 - EPS) + 1e-6, regime
+    assert all(r <= 73 / (1 - EPS) + 1e-6 for r in narrow_ratios)
+    # Practical quality: geometric mean well under 4.
+    assert geomean([r for _, r in checks]) < 4.0

@@ -1,0 +1,74 @@
+"""E8 (Theorem 7.1): line-networks with windows, unit height — (4+ε).
+
+Measured ratios against the MILP optimum over window tightness and
+resource counts, plus the round-complexity series in Lmax/Lmin (the line
+algorithm's epoch count is ⌈log(Lmax/Lmin)⌉, not log n).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import random_line_problem, solve_line_unit, solve_optimal
+from repro.core.solution import verify_line_solution
+
+from common import emit, geomean
+
+EPS = 0.1
+
+
+def run_experiment():
+    rows = []
+    ratios_all = []
+    for label, kwargs in [
+        ("tight windows", dict(window_slack=0.0)),
+        ("loose windows", dict(window_slack=2.0)),
+        ("r=1", dict(r=1)),
+        ("r=3", dict(r=3)),
+        ("long jobs", dict(min_len=6, max_len=12)),
+        ("short jobs", dict(min_len=1, max_len=3)),
+    ]:
+        base = dict(n_slots=36, m=16, r=2, max_len=9)
+        base.update(kwargs)
+        ratios, rounds = [], []
+        for seed in range(3):
+            p = random_line_problem(seed=seed, **base)
+            sol = solve_line_unit(p, epsilon=EPS, seed=seed)
+            verify_line_solution(p, sol, unit_height=True)
+            opt = solve_optimal(p)
+            ratios.append(opt.profit / max(sol.profit, 1e-12))
+            rounds.append(sol.stats["total_rounds"])
+        ratios_all.extend(ratios)
+        rows.append([label, geomean(ratios), max(ratios),
+                     sum(rounds) / len(rounds)])
+
+    # Epoch count tracks log(Lmax/Lmin).
+    epoch_series = []
+    for lmax in [2, 8, 32]:
+        p = random_line_problem(n_slots=128, m=60, r=1, seed=9,
+                                min_len=1, max_len=lmax)
+        sol = solve_line_unit(p, epsilon=0.2, seed=9)
+        epoch_series.append((lmax, sol.stats["epochs"]))
+        rows.append([f"epochs @ Lmax={lmax}", "-", "-", sol.stats["epochs"]])
+
+    emit(
+        "E08",
+        f"Theorem 7.1: line + windows, unit height (4+ε), ε={EPS}",
+        ["workload", "OPT/ALG geo", "OPT/ALG max", "avg rounds / epochs"],
+        rows,
+        notes=(
+            f"Paper bound: OPT/ALG ≤ 4/(1-ε) = {4/(1-EPS):.2f}; epochs = "
+            "⌈log(Lmax/Lmin)⌉+1 (length buckets), independent of n."
+        ),
+    )
+    return ratios_all, epoch_series
+
+
+def test_thm71_line_unit_ratio(benchmark):
+    ratios, epoch_series = benchmark.pedantic(run_experiment, rounds=1,
+                                              iterations=1)
+    bound = 4 / (1 - EPS)
+    assert all(r <= bound + 1e-6 for r in ratios)
+    assert geomean(ratios) < 2.5
+    for lmax, epochs in epoch_series:
+        assert epochs <= math.ceil(math.log2(lmax)) + 1

@@ -1,0 +1,79 @@
+"""E9 (Theorem 7.2): line-networks with windows, arbitrary heights — (23+ε).
+
+Measured combined ratios plus the narrow-only (19+ε) half, across height
+regimes and hmin values (the round bound carries a 1/hmin factor — we
+regenerate that series too).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    random_line_problem,
+    solve_line_arbitrary,
+    solve_line_narrow,
+    solve_optimal,
+)
+from repro.core.solution import verify_line_solution
+
+from common import emit, geomean
+
+EPS = 0.1
+
+
+def run_experiment():
+    rows = []
+    combined, narrow_only = [], []
+    for regime in ["narrow", "wide", "mixed", "bimodal"]:
+        ratios, rounds = [], []
+        for seed in range(3):
+            p = random_line_problem(n_slots=30, m=14, r=2, seed=seed,
+                                    height_regime=regime, hmin=0.1, max_len=8)
+            sol = solve_line_arbitrary(p, epsilon=EPS, seed=seed)
+            verify_line_solution(p, sol, unit_height=False)
+            opt = solve_optimal(p)
+            ratios.append(opt.profit / max(sol.profit, 1e-12))
+            rounds.append(sol.stats["total_rounds"])
+        combined.extend(ratios)
+        rows.append([f"combined/{regime}", geomean(ratios), max(ratios),
+                     sum(rounds) / len(rounds)])
+
+    for seed in range(3):
+        p = random_line_problem(n_slots=30, m=14, r=1, seed=seed + 30,
+                                height_regime="narrow", hmin=0.15, max_len=8)
+        sol = solve_line_narrow(p, epsilon=EPS, seed=seed)
+        opt = solve_optimal(p)
+        narrow_only.append(opt.profit / max(sol.profit, 1e-12))
+    rows.append(["narrow-only (19+ε)", geomean(narrow_only), max(narrow_only),
+                 "-"])
+
+    # 1/hmin round series: shrinking hmin raises the stage count.
+    hmin_series = []
+    for hmin in [0.4, 0.2, 0.1, 0.05]:
+        p = random_line_problem(n_slots=30, m=20, r=1, seed=77,
+                                height_regime="narrow", hmin=hmin, max_len=8)
+        sol = solve_line_narrow(p, epsilon=0.2, seed=7, hmin=hmin)
+        hmin_series.append((hmin, sol.stats["stages"]))
+        rows.append([f"stages @ hmin={hmin}", "-", "-", sol.stats["stages"]])
+
+    emit(
+        "E09",
+        f"Theorem 7.2: line + windows, arbitrary heights (23+ε), ε={EPS}",
+        ["workload", "OPT/ALG geo", "OPT/ALG max", "avg rounds / stages"],
+        rows,
+        notes=(
+            f"Paper bounds: combined ≤ 23/(1-ε) = {23/(1-EPS):.1f}; narrow "
+            f"≤ 19/(1-ε) = {19/(1-EPS):.1f}; stage count scales with 1/hmin."
+        ),
+    )
+    return combined, narrow_only, hmin_series
+
+
+def test_thm72_line_arbitrary_ratio(benchmark):
+    combined, narrow_only, hmin_series = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    assert all(r <= 23 / (1 - EPS) + 1e-6 for r in combined)
+    assert all(r <= 19 / (1 - EPS) + 1e-6 for r in narrow_only)
+    # Stage count is monotone non-decreasing as hmin shrinks.
+    stages = [s for _, s in hmin_series]
+    assert stages == sorted(stages)

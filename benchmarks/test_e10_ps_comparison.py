@@ -1,0 +1,93 @@
+"""E10 (Section 1's "improve ... by a factor of 5"): head-to-head against
+Panconesi–Sozio on identical seeded line workloads.
+
+The improvement the paper proves is in the *worst-case guarantee*:
+(4+ε)/(23+ε) vs PS's (20+ε)/(55+ε) — a 5× (resp. ~2.4×) tighter bound,
+driven by the slackness λ = 1-ε vs 1/(5+ε).  On random instances both
+algorithms do far better than their bounds; the measurable, structural
+difference is the dual certificate: ours proves OPT within a small factor
+of the achieved profit, PS's certificate is ~5× looser.  We regenerate
+profits, certificates and realized λ on shared workloads.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    random_line_problem,
+    solve_line_arbitrary,
+    solve_line_unit,
+    solve_optimal,
+    solve_ps_line_arbitrary,
+    solve_ps_line_unit,
+)
+
+from common import emit, geomean
+
+EPS = 0.1
+
+
+def run_experiment():
+    rows = []
+    ours_ratios, ps_ratios, lam_ours, lam_ps = [], [], [], []
+    cert_ours, cert_ps = [], []
+    for seed in range(5):
+        p = random_line_problem(n_slots=40, m=20, r=2, seed=seed, max_len=10)
+        opt = solve_optimal(p).profit
+        ours = solve_line_unit(p, epsilon=EPS, seed=seed)
+        ps = solve_ps_line_unit(p, epsilon=EPS, seed=seed)
+        ours_ratios.append(opt / max(ours.profit, 1e-12))
+        ps_ratios.append(opt / max(ps.profit, 1e-12))
+        lam_ours.append(ours.stats["realized_lambda"])
+        lam_ps.append(ps.stats["realized_lambda"])
+        cert_ours.append(ours.stats["opt_upper_bound"] / opt)
+        cert_ps.append(ps.stats["opt_upper_bound"] / opt)
+        rows.append([f"unit seed={seed}", f"{ours.profit:.1f}", f"{ps.profit:.1f}",
+                     f"{opt:.1f}", f"{ours.stats['realized_lambda']:.3f}",
+                     f"{ps.stats['realized_lambda']:.3f}"])
+
+    arb_ours, arb_ps = [], []
+    for seed in range(3):
+        p = random_line_problem(n_slots=36, m=18, r=2, seed=seed + 40,
+                                height_regime="mixed", hmin=0.1, max_len=9)
+        opt = solve_optimal(p).profit
+        ours = solve_line_arbitrary(p, epsilon=EPS, seed=seed)
+        ps = solve_ps_line_arbitrary(p, epsilon=EPS, seed=seed)
+        arb_ours.append(opt / max(ours.profit, 1e-12))
+        arb_ps.append(opt / max(ps.profit, 1e-12))
+        rows.append([f"arb seed={seed}", f"{ours.profit:.1f}", f"{ps.profit:.1f}",
+                     f"{opt:.1f}", "-", "-"])
+
+    rows.append(["geo OPT/ALG unit", geomean(ours_ratios), geomean(ps_ratios),
+                 "-", geomean(lam_ours), geomean(lam_ps)])
+    rows.append(["geo cert/OPT unit", geomean(cert_ours), geomean(cert_ps),
+                 "-", "-", "-"])
+    emit(
+        "E10",
+        "Ours (4+ε / 23+ε) vs Panconesi–Sozio (20+ε / 55+ε), shared workloads",
+        ["case", "ours profit", "PS profit", "OPT", "λ ours", "λ PS"],
+        rows,
+        notes=(
+            "Paper's improvement is the worst-case bound (5× on unit lines) "
+            "via slackness λ=1-ε vs 1/(5+ε).  Measured λ and the dual "
+            "certificate tightness reflect exactly that mechanism."
+        ),
+    )
+    return {
+        "ours": ours_ratios, "ps": ps_ratios,
+        "lam_ours": lam_ours, "lam_ps": lam_ps,
+        "cert_ours": cert_ours, "cert_ps": cert_ps,
+        "arb_ours": arb_ours, "arb_ps": arb_ps,
+    }
+
+
+def test_ps_comparison(benchmark):
+    res = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Both honour their own bounds.
+    assert all(r <= 4 / (1 - EPS) + 1e-6 for r in res["ours"])
+    assert all(r <= 4 * (5 + EPS) + 1e-6 for r in res["ps"])
+    assert all(r <= 23 / (1 - EPS) + 1e-6 for r in res["arb_ours"])
+    # The mechanism of the 5× improvement: realized slackness.
+    assert min(res["lam_ours"]) >= 1 - EPS - 1e-9
+    # PS retires demands at 1/(5+ε): its λ certificate is ~5× looser, so
+    # its provable OPT window (cert/OPT) is materially wider than ours.
+    assert geomean(res["cert_ours"]) < geomean(res["cert_ps"])

@@ -1,0 +1,80 @@
+"""E12 (Section 5 Remark): slackness ablation — multi-stage (λ = 1-ε)
+vs single-stage PS-style (λ = 1/(5+ε)) dual assignments.
+
+This is the paper's second technical contribution isolated: same layered
+decomposition, same raising rule, only the stage schedule differs.  We
+measure the realized λ, the dual certificate tightness, the provable
+ratio (∆+1)/λ, and the round cost of the extra stages.
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig, TwoPhaseEngine, compile_tree, random_tree_problem, solve_optimal
+
+from common import emit, geomean
+
+EPS = 0.1
+
+
+def run_one(problem, single_stage: bool, seed: int):
+    inp = compile_tree(problem)
+    if single_stage:
+        cfg = EngineConfig(rule="unit", epsilon=EPS,
+                           single_stage_target=1.0 / (5.0 + EPS), seed=seed)
+    else:
+        cfg = EngineConfig(rule="unit", epsilon=EPS, seed=seed)
+    selected, stats = TwoPhaseEngine(inp, cfg).run()
+    profit = sum(d.profit for d in selected)
+    return profit, stats
+
+
+def run_experiment():
+    rows = []
+    agg = {"lam_multi": [], "lam_single": [], "rounds_multi": [],
+           "rounds_single": [], "profit_multi": [], "profit_single": [],
+           "guar_multi": [], "guar_single": []}
+    for seed in range(5):
+        p = random_tree_problem(n=24, m=20, r=2, seed=seed)
+        opt = solve_optimal(p).profit
+        pm, sm = run_one(p, single_stage=False, seed=seed)
+        ps_, ss = run_one(p, single_stage=True, seed=seed)
+        agg["lam_multi"].append(sm.realized_lambda)
+        agg["lam_single"].append(ss.realized_lambda)
+        agg["rounds_multi"].append(sm.total_rounds)
+        agg["rounds_single"].append(ss.total_rounds)
+        agg["profit_multi"].append(pm / opt)
+        agg["profit_single"].append(ps_ / opt)
+        agg["guar_multi"].append((sm.delta + 1) / sm.realized_lambda)
+        agg["guar_single"].append((ss.delta + 1) / ss.realized_lambda)
+        rows.append([f"seed={seed}", f"{sm.realized_lambda:.3f}",
+                     f"{ss.realized_lambda:.3f}", sm.total_rounds,
+                     ss.total_rounds, f"{pm/opt:.3f}", f"{ps_/opt:.3f}"])
+    rows.append(["geomean", geomean(agg["lam_multi"]), geomean(agg["lam_single"]),
+                 geomean(agg["rounds_multi"]), geomean(agg["rounds_single"]),
+                 geomean(agg["profit_multi"]), geomean(agg["profit_single"])])
+    emit(
+        "E12",
+        "Slackness ablation: multi-stage (λ=1-ε) vs single-stage (λ=1/(5+ε))",
+        ["case", "λ multi", "λ single", "rounds multi", "rounds single",
+         "ALG/OPT multi", "ALG/OPT single"],
+        rows,
+        notes=(
+            "The multi-stage schedule buys λ≈1 (provable ratio (∆+1)/λ ≈ 7) "
+            "at a modest round premium; the single-stage schedule stops at "
+            "λ ≥ 1/(5+ε) (provable ratio ≈ 35 for ∆=6)."
+        ),
+    )
+    return agg
+
+
+def test_ablation_slackness(benchmark):
+    agg = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert min(agg["lam_multi"]) >= 1 - EPS - 1e-9
+    assert min(agg["lam_single"]) >= 1 / (5 + EPS) - 1e-9
+    # The provable guarantee is materially tighter with stages.
+    assert geomean(agg["guar_multi"]) < geomean(agg["guar_single"])
+    # The cost: more rounds (stages multiply the schedule).
+    assert geomean(agg["rounds_multi"]) >= geomean(agg["rounds_single"])
+    # Both land within their provable ratios.
+    for pm, gm in zip(agg["profit_multi"], agg["guar_multi"]):
+        assert pm >= 1 / gm - 1e-9

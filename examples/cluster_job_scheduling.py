@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Cluster job scheduling with deadlines — the Section 7 line scenario.
+
+A compute cluster exposes r machines (resources) over a discrete
+timeline.  Each job has a release time, a deadline, a processing time, a
+value, and a resource share (height): a 0.25-height job takes a quarter
+of a machine.  Scheduling a job claims its share on one machine for a
+contiguous interval inside its window — throughput maximization on
+line-networks with windows and arbitrary heights.
+
+We schedule 40 jobs on 3 machines over 80 timeslots with the paper's
+(23+ε) algorithm, compare against Panconesi–Sozio's (55+ε) baseline, a
+greedy heuristic and the exact optimum, and draw the resulting Gantt
+chart for machine 0.
+
+Run:  python examples/cluster_job_scheduling.py
+"""
+
+import numpy as np
+
+from repro import (
+    LineNetwork,
+    LineProblem,
+    WindowDemand,
+    solve_greedy,
+    solve_line_arbitrary,
+    solve_optimal,
+    solve_ps_line_arbitrary,
+    verify_line_solution,
+)
+
+N_SLOTS = 80
+N_MACHINES = 3
+N_JOBS = 40
+SEED = 7
+
+
+def build_cluster() -> LineProblem:
+    rng = np.random.default_rng(SEED)
+    machines = [LineNetwork(N_SLOTS, network_id=q) for q in range(N_MACHINES)]
+    jobs = []
+    for i in range(N_JOBS):
+        rho = int(rng.integers(2, 13))
+        slack = int(rng.integers(0, rho + 1))
+        release = int(rng.integers(0, N_SLOTS - rho - slack + 1))
+        share = float(rng.choice([0.25, 0.5, 1.0], p=[0.4, 0.35, 0.25]))
+        value = rho * share * float(rng.uniform(0.8, 1.5))
+        jobs.append(WindowDemand(
+            i, release=release, deadline=release + rho + slack - 1,
+            proc_time=rho, profit=value, height=share,
+        ))
+    return LineProblem(n_slots=N_SLOTS, resources=machines, demands=jobs)
+
+
+def gantt(problem: LineProblem, sol, machine: int) -> str:
+    lanes: list[list[str]] = []
+    for inst in sorted(sol.selected, key=lambda d: d.start):
+        if inst.network_id != machine:
+            continue
+        tag = chr(ord("a") + inst.demand_id % 26)
+        placed = False
+        for lane in lanes:
+            if all(lane[t] == "." for t in range(inst.start, inst.end + 1)):
+                for t in range(inst.start, inst.end + 1):
+                    lane[t] = tag
+                placed = True
+                break
+        if not placed:
+            lane = ["."] * problem.n_slots
+            for t in range(inst.start, inst.end + 1):
+                lane[t] = tag
+            lanes.append(lane)
+    return "\n".join("  " + "".join(lane) for lane in lanes) or "  (idle)"
+
+
+def main() -> None:
+    problem = build_cluster()
+    ours = solve_line_arbitrary(problem, epsilon=0.1, seed=SEED)
+    verify_line_solution(problem, ours)
+    ps = solve_ps_line_arbitrary(problem, epsilon=0.1, seed=SEED)
+    greedy = solve_greedy(problem, order="density")
+    opt = solve_optimal(problem)
+
+    print(f"{N_JOBS} jobs, {N_MACHINES} machines, {N_SLOTS} timeslots\n")
+    print(f"{'method':<26}{'value':>9}{'jobs':>7}")
+    print("-" * 42)
+    for name, s in [
+        ("this paper (23+ε)", ours),
+        ("Panconesi–Sozio (55+ε)", ps),
+        ("greedy (density)", greedy),
+        ("exact optimum", opt),
+    ]:
+        print(f"{name:<26}{s.profit:>9.1f}{s.size:>7}")
+    print(f"\nmeasured ratio OPT/ours = {opt.profit / ours.profit:.3f}")
+    print(f"distributed rounds      = {ours.stats['total_rounds']}")
+
+    print("\nmachine 0 schedule (rows are capacity lanes; letters = jobs):")
+    print(gantt(problem, ours, machine=0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Run the actual message-passing protocol, agent by agent.
+
+The library normally executes the algorithm through the round-accounting
+engine.  This demo runs the *processor-level* protocol of Section 5's
+"Distributed Implementation" instead: every processor is an object that
+only talks to processors it shares a resource with, MIS is a real
+multi-round subprotocol, and β-duals propagate by neighbour broadcast.
+The output is bit-identical to the engine (both use the priority MIS) —
+which the demo verifies — while reporting genuine message counts.
+
+Run:  python examples/distributed_protocol_demo.py
+"""
+
+from repro import compile_tree, random_tree_problem, solve_tree_unit, verify_tree_solution
+from repro.distributed.runtime import TreeUnitRuntime
+
+
+def main() -> None:
+    problem = random_tree_problem(n=24, m=16, r=3, seed=11, access_prob=0.7)
+    print(f"{problem.num_demands} processors, {problem.num_networks} "
+          f"tree-networks, {len(problem.instances())} demand instances\n")
+
+    inp = compile_tree(problem)
+    runtime = TreeUnitRuntime(problem, epsilon=0.15, delta=inp.delta)
+    agent_sol = runtime.run()
+    verify_tree_solution(problem, agent_sol)
+
+    engine_sol = solve_tree_unit(problem, epsilon=0.15, mis="greedy")
+
+    print("agent-level protocol:")
+    print(f"  profit            {agent_sol.profit:.2f}")
+    print(f"  accepted demands  {agent_sol.size}")
+    print(f"  synchronous rounds {agent_sol.stats['rounds']}")
+    print(f"  messages sent     {agent_sol.stats['messages']}")
+    print(f"  primal-dual steps {agent_sol.stats['steps']}")
+
+    same = sorted((d.demand_id, d.network_id) for d in agent_sol.selected) == \
+           sorted((d.demand_id, d.network_id) for d in engine_sol.selected)
+    print(f"\nengine (logical simulation) profit: {engine_sol.profit:.2f}")
+    print(f"agent protocol == engine output: {same}")
+    assert same, "protocol diverged from the engine"
+
+    print("\nper-phase round ledger (first 8 phases):")
+    for name, rounds in list(runtime.sim.stats.per_phase.items())[:8]:
+        print(f"  {name:<18} {rounds} rounds")
+
+
+if __name__ == "__main__":
+    main()

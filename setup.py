@@ -1,0 +1,5 @@
+"""Setuptools shim: enables legacy editable installs where the ``wheel``
+package is unavailable (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

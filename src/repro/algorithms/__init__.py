@@ -1,0 +1,49 @@
+"""Algorithms: the paper's distributed solvers, baselines, and exact optima."""
+
+from .compile import compile_line, compile_tree
+from .exact import brute_force_optimal, lp_upper_bound, solve_optimal
+from .framework import (
+    EngineConfig,
+    EngineInput,
+    EngineStats,
+    TwoPhaseEngine,
+    narrow_xi,
+    stage_count,
+    unit_xi,
+)
+from .greedy import solve_greedy
+from .line_windows import solve_line_arbitrary, solve_line_narrow, solve_line_unit
+from .panconesi_sozio import solve_ps_line_arbitrary, solve_ps_line_unit
+from .sequential_tree import solve_sequential_tree
+from .tree_arbitrary import (
+    combine_by_network,
+    solve_tree_arbitrary,
+    solve_tree_narrow,
+)
+from .tree_unit import solve_tree_unit
+
+__all__ = [
+    "EngineConfig",
+    "EngineInput",
+    "EngineStats",
+    "TwoPhaseEngine",
+    "brute_force_optimal",
+    "combine_by_network",
+    "compile_line",
+    "compile_tree",
+    "lp_upper_bound",
+    "narrow_xi",
+    "solve_greedy",
+    "solve_line_arbitrary",
+    "solve_line_narrow",
+    "solve_line_unit",
+    "solve_optimal",
+    "solve_ps_line_arbitrary",
+    "solve_ps_line_unit",
+    "solve_sequential_tree",
+    "solve_tree_arbitrary",
+    "solve_tree_narrow",
+    "solve_tree_unit",
+    "stage_count",
+    "unit_xi",
+]

@@ -1,0 +1,46 @@
+"""Greedy baselines.
+
+Not from the paper — context for the benchmarks: how much of the measured
+gap to OPT is closed by the primal-dual machinery versus what a trivial
+centralized heuristic already achieves.  Two orders:
+
+* ``profit``  — descending profit;
+* ``density`` — descending profit per occupied edge (length-normalised),
+  the classic knapsack-style heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..core.solution import Solution
+
+__all__ = ["solve_greedy"]
+
+
+def solve_greedy(
+    problem, *, order: Literal["profit", "density"] = "density"
+) -> Solution:
+    """First-fit greedy over all demand instances in the chosen order."""
+    instances = problem.instances()
+    edges_of = {d.instance_id: problem.global_edges_of(d) for d in instances}
+    if order == "profit":
+        key = lambda d: (-d.profit, d.instance_id)
+    elif order == "density":
+        key = lambda d: (-d.profit / max(len(edges_of[d.instance_id]), 1),
+                         d.instance_id)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    load: dict = {}
+    used_demands: set[int] = set()
+    chosen: list = []
+    for d in sorted(instances, key=key):
+        if d.demand_id in used_demands:
+            continue
+        edges = edges_of[d.instance_id]
+        if all(load.get(e, 0.0) + d.height <= 1.0 + 1e-9 for e in edges):
+            chosen.append(d)
+            used_demands.add(d.demand_id)
+            for e in edges:
+                load[e] = load.get(e, 0.0) + d.height
+    return Solution(selected=chosen, stats={"algorithm": f"greedy-{order}"})

@@ -1,0 +1,128 @@
+"""The fixed distributed schedule (Section 5, "Distributed Implementation").
+
+When every processor knows ``n``, ``ε``, ``pmax``, ``pmin`` (and ``hmin``
+in the narrow case), the epoch/stage/iteration counts can be computed
+exactly in advance, so all processors stay synchronized without any
+global coordination: epochs = the decomposition-depth bound, stages =
+``⌈log_ξ ε⌉``, iterations per stage = the kill-chain bound
+``1 + ⌈log₂(pmax/pmin)⌉``.
+
+:func:`scheduled_rounds` evaluates that worst-case budget — the concrete
+form of the theorems' ``O(Time(MIS)·log n·log(1/ε)·log(pmax/pmin))`` —
+and the tests/benchmarks confirm the engine's *adaptive* run (which exits
+a stage as soon as the group is satisfied) never exceeds it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .framework import narrow_xi, stage_count, unit_xi
+
+__all__ = ["RoundSchedule", "tree_unit_schedule", "line_unit_schedule",
+           "narrow_schedule", "scheduled_rounds"]
+
+
+@dataclass(frozen=True)
+class RoundSchedule:
+    """The fixed (worst-case) schedule all processors agree on."""
+
+    epochs: int
+    stages_per_epoch: int
+    steps_per_stage: int
+    time_mis: int
+
+    @property
+    def total_steps(self) -> int:
+        """Worst-case primal-dual steps of the first phase."""
+        return self.epochs * self.stages_per_epoch * self.steps_per_stage
+
+    @property
+    def phase1_rounds(self) -> int:
+        """Each step costs Time(MIS) + 1 (dual broadcast) rounds."""
+        return self.total_steps * (self.time_mis + 1)
+
+    @property
+    def phase2_rounds(self) -> int:
+        """One pop round per scheduled step tuple."""
+        return self.total_steps
+
+    @property
+    def total_rounds(self) -> int:
+        """The full two-phase worst-case round budget."""
+        return self.phase1_rounds + self.phase2_rounds
+
+
+def _steps_per_stage(pmax: float, pmin: float) -> int:
+    if pmin <= 0 or pmax < pmin:
+        raise ValueError("need 0 < pmin <= pmax")
+    return 1 + math.ceil(math.log2(pmax / pmin)) if pmax > pmin else 1
+
+
+def tree_unit_schedule(
+    n: int, epsilon: float, pmax: float, pmin: float,
+    *, delta: int = 6, time_mis: int | None = None, num_instances: int = 0,
+) -> RoundSchedule:
+    """Theorem 5.3's schedule: epochs = 2⌈log n⌉+1 (ideal-TD depth)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    epochs = 2 * math.ceil(math.log2(max(n, 2))) + 1
+    b = stage_count(unit_xi(delta), epsilon)
+    tm = time_mis if time_mis is not None else _default_time_mis(num_instances)
+    return RoundSchedule(epochs, b, _steps_per_stage(pmax, pmin), tm)
+
+
+def line_unit_schedule(
+    l_min: int, l_max: int, epsilon: float, pmax: float, pmin: float,
+    *, delta: int = 3, time_mis: int | None = None, num_instances: int = 0,
+) -> RoundSchedule:
+    """Theorem 7.1's schedule: epochs = ⌈log(Lmax/Lmin)⌉+1 length buckets."""
+    if l_min < 1 or l_max < l_min:
+        raise ValueError("need 1 <= Lmin <= Lmax")
+    epochs = 1
+    top = l_min * 2
+    while top <= l_max:
+        top *= 2
+        epochs += 1
+    b = stage_count(unit_xi(delta), epsilon)
+    tm = time_mis if time_mis is not None else _default_time_mis(num_instances)
+    return RoundSchedule(epochs, b, _steps_per_stage(pmax, pmin), tm)
+
+
+def narrow_schedule(
+    epochs: int, epsilon: float, hmin: float, pmax: float, pmin: float,
+    *, delta: int, time_mis: int | None = None, num_instances: int = 0,
+) -> RoundSchedule:
+    """Lemma 6.2's schedule: ξ = c/(c+hmin) multiplies the stage count
+    by O(1/hmin)."""
+    b = stage_count(narrow_xi(delta, hmin), epsilon)
+    tm = time_mis if time_mis is not None else _default_time_mis(num_instances)
+    return RoundSchedule(epochs, b, _steps_per_stage(pmax, pmin), tm)
+
+
+def _default_time_mis(num_instances: int) -> int:
+    """Luby's w.h.p. bound: ``c·log N`` rounds with a civilised constant."""
+    if num_instances <= 1:
+        return 1
+    return 4 * math.ceil(math.log2(num_instances))
+
+
+def scheduled_rounds(problem, epsilon: float, *, delta: int | None = None) -> int:
+    """Worst-case round budget for the unit-height algorithm on ``problem``.
+
+    Dispatches on the problem type; uses its actual ``pmax/pmin`` (and
+    length range for lines).
+    """
+    pmin, pmax = problem.profit_range()
+    num = len(problem.instances())
+    if hasattr(problem, "networks"):
+        return tree_unit_schedule(
+            problem.n, epsilon, pmax, pmin,
+            delta=delta if delta is not None else 6, num_instances=num,
+        ).total_rounds
+    l_min, l_max = problem.length_range()
+    return line_unit_schedule(
+        l_min, l_max, epsilon, pmax, pmin,
+        delta=delta if delta is not None else 3, num_instances=num,
+    ).total_rounds

@@ -1,0 +1,139 @@
+"""Distributed (80+ε)-approximation for arbitrary heights on
+tree-networks (Section 6, Theorem 6.3).
+
+The height regime splits the demands:
+
+* **wide** (``h > 1/2``): two overlapping wide instances can never
+  coexist, so the unit-height algorithm (Theorem 5.3) applies verbatim —
+  a (7+ε)-approximation against the wide-only optimum ``Opt₁``.
+* **narrow** (``h ≤ 1/2``): the engine runs the Section 6.1 raising rule
+  (``δ = slack/(1+2h|π|²)``, β bumped by ``2|π|δ``) with the stage
+  schedule ``ξ = 73/(73+hmin)``; Lemma 6.1 with ``∆ = 6`` and
+  ``λ = 1-ε`` gives a (73+ε)-approximation against ``Opt₂``.
+
+The combiner keeps, per tree-network, the higher-profit of the two
+per-network schedules; since ``Opt ≤ Opt₁ + Opt₂`` and the combined
+profit is ``max(p(S₁), p(S₂))``-per-network, the result is an
+(80+ε)-approximation overall.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..core.instance import TreeProblem
+from ..core.solution import Solution
+from .compile import compile_tree
+from .framework import EngineConfig, TwoPhaseEngine
+from .tree_unit import solve_tree_unit
+
+__all__ = ["solve_tree_arbitrary", "solve_tree_narrow", "combine_by_network"]
+
+
+def solve_tree_narrow(
+    problem: TreeProblem,
+    *,
+    epsilon: float = 0.1,
+    hmin: float | None = None,
+    mis: Literal["luby", "greedy"] = "luby",
+    seed: int | None = 0,
+) -> Solution:
+    """The narrow-only algorithm (Lemma 6.2): (73+ε)-approximation.
+
+    ``hmin`` defaults to the smallest narrow height in the instance (the
+    paper assumes it is known to all processors).  Demands with
+    ``h > 1/2`` are ignored here — use :func:`solve_tree_arbitrary` for
+    the full pipeline.
+    """
+    narrow_heights = [a.height for a in problem.demands if a.narrow]
+    if not narrow_heights:
+        return Solution(selected=[], stats={"algorithm": "tree-narrow(73+eps)",
+                                            "empty": True})
+    if hmin is None:
+        hmin = min(narrow_heights)
+    inp = compile_tree(problem, instance_filter=lambda d: d.narrow)
+    cfg = EngineConfig(
+        rule="narrow",
+        epsilon=epsilon,
+        hmin=hmin,
+        mis=mis,
+        seed=seed,
+        capacity_phase2=True,
+    )
+    selected, stats = TwoPhaseEngine(inp, cfg).run()
+    guarantee = (2 * stats.delta**2 + 1) / max(stats.realized_lambda, 1e-12)
+    return Solution(
+        selected=selected,
+        stats={
+            "algorithm": "tree-narrow(73+eps)",
+            "epsilon": epsilon,
+            "hmin": hmin,
+            "delta": stats.delta,
+            "epochs": stats.epochs,
+            "stages": stats.stages,
+            "steps": stats.steps,
+            "mis_rounds": stats.mis_rounds,
+            "total_rounds": stats.total_rounds,
+            "max_steps_in_a_stage": stats.max_steps_in_a_stage,
+            "realized_lambda": stats.realized_lambda,
+            "dual_objective": stats.dual_objective,
+            "opt_upper_bound": stats.opt_upper_bound,
+            "approx_guarantee": guarantee,
+        },
+    )
+
+
+def combine_by_network(s1: Solution, s2: Solution, label: str) -> Solution:
+    """Theorem 6.3's combiner: per network, keep the richer schedule.
+
+    Assumes the two solutions select from disjoint demand populations
+    (wide vs narrow), so the union per network is one-instance-per-demand
+    automatically.
+    """
+    by1, by2 = s1.by_network(), s2.by_network()
+    selected: list = []
+    for q in set(by1) | set(by2):
+        cand1 = by1.get(q, [])
+        cand2 = by2.get(q, [])
+        p1 = sum(d.profit for d in cand1)
+        p2 = sum(d.profit for d in cand2)
+        selected.extend(cand1 if p1 >= p2 else cand2)
+    return Solution(
+        selected=selected,
+        stats={
+            "algorithm": label,
+            "wide": s1.stats,
+            "narrow": s2.stats,
+            "total_rounds": (
+                s1.stats.get("total_rounds", 0) + s2.stats.get("total_rounds", 0)
+            ),
+        },
+    )
+
+
+def solve_tree_arbitrary(
+    problem: TreeProblem,
+    *,
+    epsilon: float = 0.1,
+    hmin: float | None = None,
+    mis: Literal["luby", "greedy"] = "luby",
+    seed: int | None = 0,
+) -> Solution:
+    """Solve the arbitrary-height tree problem (Theorem 6.3): (80+ε).
+
+    Runs the wide population through the unit-height algorithm and the
+    narrow population through the Section 6.1 engine, then combines
+    per-network.
+    """
+    wide = solve_tree_unit(
+        problem,
+        epsilon=epsilon,
+        mis=mis,
+        seed=seed,
+        instance_filter=lambda d: not d.narrow,
+    )
+    wide.stats["algorithm"] = "tree-wide-as-unit(7+eps)"
+    narrow = solve_tree_narrow(
+        problem, epsilon=epsilon, hmin=hmin, mis=mis, seed=seed
+    )
+    return combine_by_network(wide, narrow, "tree-arbitrary(80+eps)")

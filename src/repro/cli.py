@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+```
+python -m repro generate  --kind tree --n 32 --m 24 --r 2 -o problem.json
+python -m repro solve     problem.json --algorithm tree-unit --epsilon 0.1
+python -m repro compare   problem.json
+python -m repro decompose --topology caterpillar --n 32
+```
+
+``solve`` prints the solution summary (profit, rounds, λ, the dual
+certificate) and optionally writes the solution JSON; ``compare`` runs
+the paper's algorithm, the relevant baseline, greedy, and the exact
+optimum side by side; ``decompose`` prints the Section 4 decomposition
+table for a topology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.instance import TreeProblem
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed scheduling on line and tree networks "
+                    "(arXiv:1205.1924 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a random problem as JSON")
+    gen.add_argument("--kind", choices=["tree", "line"], default="tree")
+    gen.add_argument("--n", type=int, default=32,
+                     help="vertices (tree) / timeslots (line)")
+    gen.add_argument("--m", type=int, default=24, help="demands")
+    gen.add_argument("--r", type=int, default=2, help="networks/resources")
+    gen.add_argument("--topology", default="random")
+    gen.add_argument("--heights", default="unit",
+                     choices=["unit", "narrow", "wide", "mixed", "bimodal"])
+    gen.add_argument("--profit-ratio", type=float, default=10.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+
+    sol = sub.add_parser("solve", help="solve a problem JSON")
+    sol.add_argument("problem")
+    sol.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "tree-unit", "tree-arbitrary", "line-unit",
+                 "line-arbitrary", "ps-line", "sequential", "greedy", "exact"],
+    )
+    sol.add_argument("--epsilon", type=float, default=0.1)
+    sol.add_argument("--seed", type=int, default=0)
+    sol.add_argument("--mis", default="luby",
+                     choices=["luby", "greedy", "priority"])
+    sol.add_argument("--save-solution", default=None)
+
+    cmp_ = sub.add_parser("compare", help="run algorithms side by side")
+    cmp_.add_argument("problem")
+    cmp_.add_argument("--epsilon", type=float, default=0.1)
+    cmp_.add_argument("--seed", type=int, default=0)
+
+    dec = sub.add_parser("decompose",
+                         help="Section 4 decomposition table for a topology")
+    dec.add_argument("--topology", default="random")
+    dec.add_argument("--n", type=int, default=32)
+    dec.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _generate(args) -> int:
+    from .io import save_problem
+    from .workloads import random_line_problem, random_tree_problem
+
+    if args.kind == "tree":
+        problem = random_tree_problem(
+            n=args.n, m=args.m, r=args.r, topology=args.topology,
+            seed=args.seed, profit_ratio=args.profit_ratio,
+            height_regime=args.heights,
+        )
+    else:
+        problem = random_line_problem(
+            n_slots=args.n, m=args.m, r=args.r, seed=args.seed,
+            profit_ratio=args.profit_ratio, height_regime=args.heights,
+        )
+    save_problem(problem, args.output)
+    print(f"wrote {args.kind} problem ({args.m} demands, {args.r} networks) "
+          f"to {args.output}")
+    return 0
+
+
+def _pick_algorithm(problem, name: str):
+    from . import algorithms as alg
+
+    is_tree = isinstance(problem, TreeProblem)
+    if name == "auto":
+        if is_tree:
+            name = "tree-unit" if problem.unit_height else "tree-arbitrary"
+        else:
+            name = "line-unit" if problem.unit_height else "line-arbitrary"
+    table = {
+        "tree-unit": (alg.solve_tree_unit, True),
+        "tree-arbitrary": (alg.solve_tree_arbitrary, True),
+        "sequential": (alg.solve_sequential_tree, True),
+        "line-unit": (alg.solve_line_unit, False),
+        "line-arbitrary": (alg.solve_line_arbitrary, False),
+        "ps-line": (alg.solve_ps_line_unit, False),
+        "greedy": (alg.solve_greedy, None),
+        "exact": (alg.solve_optimal, None),
+    }
+    fn, wants_tree = table[name]
+    if wants_tree is True and not is_tree:
+        raise SystemExit(f"{name} needs a tree problem")
+    if wants_tree is False and is_tree:
+        raise SystemExit(f"{name} needs a line problem")
+    return name, fn
+
+
+def _solve(args) -> int:
+    from .core.solution import verify_line_solution, verify_tree_solution
+    from .io import load_problem, save_solution
+    from .report import render_solution_summary
+
+    problem = load_problem(args.problem)
+    name, fn = _pick_algorithm(problem, args.algorithm)
+    kwargs = {}
+    if name in ("tree-unit", "tree-arbitrary", "line-unit", "line-arbitrary",
+                "ps-line"):
+        kwargs = dict(epsilon=args.epsilon, seed=args.seed, mis=args.mis)
+    sol = fn(problem, **kwargs)
+    if isinstance(problem, TreeProblem):
+        verify_tree_solution(problem, sol, unit_height=False)
+    else:
+        verify_line_solution(problem, sol, unit_height=False)
+    print(render_solution_summary(sol))
+    if args.save_solution:
+        save_solution(sol, args.save_solution)
+        print(f"solution written to {args.save_solution}")
+    return 0
+
+
+def _compare(args) -> int:
+    from . import algorithms as alg
+    from .io import load_problem
+    from .report import render_comparison
+
+    problem = load_problem(args.problem)
+    entries = []
+    if isinstance(problem, TreeProblem):
+        entries.append((
+            "tree-arbitrary (80+ε)" if not problem.unit_height
+            else "tree-unit (7+ε)",
+            (alg.solve_tree_arbitrary if not problem.unit_height
+             else alg.solve_tree_unit)(problem, epsilon=args.epsilon,
+                                       seed=args.seed),
+        ))
+        entries.append(("sequential (App. A)", alg.solve_sequential_tree(problem)))
+    else:
+        entries.append((
+            "line-arbitrary (23+ε)" if not problem.unit_height
+            else "line-unit (4+ε)",
+            (alg.solve_line_arbitrary if not problem.unit_height
+             else alg.solve_line_unit)(problem, epsilon=args.epsilon,
+                                       seed=args.seed),
+        ))
+        entries.append((
+            "Panconesi–Sozio",
+            (alg.solve_ps_line_arbitrary if not problem.unit_height
+             else alg.solve_ps_line_unit)(problem, epsilon=args.epsilon,
+                                          seed=args.seed),
+        ))
+    entries.append(("greedy (density)", alg.solve_greedy(problem)))
+    opt = alg.solve_optimal(problem)
+    print(render_comparison(entries, opt=opt.profit))
+    return 0
+
+
+def _decompose(args) -> int:
+    from .decomposition import (
+        balancing_decomposition,
+        ideal_decomposition,
+        root_fixing_decomposition,
+    )
+    from .report import render_decomposition
+    from .workloads import make_tree
+
+    tree = make_tree(args.n, args.topology, seed=args.seed)
+    print(f"{args.topology} tree on {args.n} vertices")
+    print(f"{'construction':<14}{'depth':>7}{'pivot θ':>9}")
+    print("-" * 30)
+    for name, builder in [("root-fixing", root_fixing_decomposition),
+                          ("balancing", balancing_decomposition),
+                          ("ideal", ideal_decomposition)]:
+        td = builder(tree)
+        print(f"{name:<14}{td.max_depth:>7}{td.pivot_size:>9}")
+    print()
+    print(render_decomposition(ideal_decomposition(tree)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _generate,
+        "solve": _solve,
+        "compare": _compare,
+        "decompose": _decompose,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Problem model: demands, instances, conflicts, duals, solutions."""
+
+from .conflict import ConflictIndex
+from .demand import (
+    Demand,
+    LineDemandInstance,
+    TreeDemandInstance,
+    WindowDemand,
+    is_narrow,
+    is_wide,
+)
+from .duals import DualState
+from .instance import GlobalEdge, LineProblem, TreeProblem
+from .solution import (
+    FeasibilityError,
+    Solution,
+    verify_line_solution,
+    verify_tree_solution,
+)
+
+__all__ = [
+    "ConflictIndex",
+    "Demand",
+    "DualState",
+    "FeasibilityError",
+    "GlobalEdge",
+    "LineDemandInstance",
+    "LineProblem",
+    "Solution",
+    "TreeDemandInstance",
+    "TreeProblem",
+    "WindowDemand",
+    "is_narrow",
+    "is_wide",
+    "verify_line_solution",
+    "verify_tree_solution",
+]

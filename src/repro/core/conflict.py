@@ -1,0 +1,139 @@
+"""The conflict relation over demand instances (Section 2).
+
+Two demand instances *conflict* iff they belong to the same demand, or
+they belong to the same network and their routes share an edge (overlap).
+A feasible unit-height solution is exactly an independent set in the
+conflict graph; the distributed algorithm computes maximal independent
+sets of sub-populations of it every step (Section 5).
+
+:class:`ConflictIndex` answers conflict queries and enumerates conflict
+edges without materialising the full quadratic graph unless asked: it
+keeps per-demand buckets and per-(network, edge) activity buckets, so the
+neighbourhood of an instance is the union of a few bucket lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ConflictIndex"]
+
+
+class ConflictIndex:
+    """Conflict queries over a fixed population of demand instances.
+
+    Parameters
+    ----------
+    instances:
+        The demand instances (tree or line; anything exposing
+        ``instance_id``, ``demand_id``, ``network_id``).
+    global_edges:
+        ``global_edges[iid]`` is the list of global edge ids instance
+        ``iid`` is active on (``(network, edge)`` or ``(resource, slot)``).
+        Instance ids must be ``0 .. len(instances) - 1``.
+    """
+
+    def __init__(self, instances: Sequence, global_edges: Sequence[Sequence]):
+        if len(instances) != len(global_edges):
+            raise ValueError("one edge list per instance required")
+        self._instances = list(instances)
+        self._edges_of: list[frozenset] = [frozenset(ge) for ge in global_edges]
+        self._by_demand: dict[int, list[int]] = {}
+        self._by_edge: dict[object, list[int]] = {}
+        for pos, (inst, ge) in enumerate(zip(self._instances, self._edges_of)):
+            iid = inst.instance_id
+            if iid != pos:
+                raise ValueError(
+                    f"instance ids must be dense 0..N-1 in order; position "
+                    f"{pos} holds id {iid}"
+                )
+            self._by_demand.setdefault(inst.demand_id, []).append(iid)
+            for e in ge:
+                self._by_edge.setdefault(e, []).append(iid)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def instance(self, iid: int):
+        """The instance with id ``iid``."""
+        return self._instances[iid]
+
+    def edges_of(self, iid: int) -> frozenset:
+        """Global edges instance ``iid`` is active on."""
+        return self._edges_of[iid]
+
+    def overlap(self, a: int, b: int) -> bool:
+        """Same network and edge-intersecting routes (Section 2)."""
+        ia, ib = self._instances[a], self._instances[b]
+        if ia.network_id != ib.network_id:
+            return False
+        ea, eb = self._edges_of[a], self._edges_of[b]
+        if len(ea) > len(eb):
+            ea, eb = eb, ea
+        return any(e in eb for e in ea)
+
+    def conflicting(self, a: int, b: int) -> bool:
+        """Same demand, or overlapping (Section 2's conflict relation)."""
+        if a == b:
+            return False
+        ia, ib = self._instances[a], self._instances[b]
+        if ia.demand_id == ib.demand_id:
+            return True
+        return self.overlap(a, b)
+
+    def neighbors(self, iid: int, population: set[int] | None = None) -> set[int]:
+        """All instances conflicting with ``iid``.
+
+        Restricted to ``population`` if given.  Computed as the union of
+        the sibling bucket (same demand) and the activity buckets of the
+        edges on ``iid``'s route.
+        """
+        inst = self._instances[iid]
+        out: set[int] = set()
+        for other in self._by_demand[inst.demand_id]:
+            if other != iid and (population is None or other in population):
+                out.add(other)
+        for e in self._edges_of[iid]:
+            for other in self._by_edge[e]:
+                if other != iid and (population is None or other in population):
+                    out.add(other)
+        return out
+
+    def is_independent(self, iids: Iterable[int]) -> bool:
+        """Whether the given instance ids are pairwise non-conflicting."""
+        ids = list(iids)
+        demands: set[int] = set()
+        used_edges: set[object] = set()
+        for iid in ids:
+            inst = self._instances[iid]
+            if inst.demand_id in demands:
+                return False
+            demands.add(inst.demand_id)
+            for e in self._edges_of[iid]:
+                if e in used_edges:
+                    return False
+            used_edges.update(self._edges_of[iid])
+        return True
+
+    def subgraph(self, population: Iterable[int]):
+        """Adjacency dict of the conflict graph induced on ``population``.
+
+        Used to hand sub-populations to the MIS routines.
+        """
+        pop = set(population)
+        return {iid: self.neighbors(iid, pop) for iid in pop}
+
+    def to_networkx(self, population: Iterable[int] | None = None):
+        """Export the (induced) conflict graph as :class:`networkx.Graph`."""
+        import networkx as nx
+
+        pop = set(population) if population is not None else set(range(len(self)))
+        g = nx.Graph()
+        g.add_nodes_from(pop)
+        for iid in pop:
+            for other in self.neighbors(iid, pop):
+                if other > iid:
+                    g.add_edge(iid, other)
+        return g

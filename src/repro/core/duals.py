@@ -1,0 +1,170 @@
+"""Dual variable store for the primal-dual machinery (Sections 3 and 6).
+
+The dual LP has a variable ``alpha(a)`` per demand and ``beta(e)`` per
+(global) edge.  The dual constraint of instance ``d`` is
+
+* unit case (Section 3.1):      ``alpha(a_d) + Σ_{e: d∼e} beta(e) >= p(d)``
+* height case (Section 6.1):    ``alpha(a_d) + h(d)·Σ_{e: d∼e} beta(e) >= p(d)``
+
+:class:`DualState` stores the assignment sparsely, computes constraint
+left-hand sides and slacks, applies the two raising rules of the paper,
+and reports the dual objective and the realised slackness parameter
+``λ`` — the largest value such that every constraint is λ-satisfied
+(Section 3.2).  Lemma 3.1 / Lemma 6.1 turn ``objective / λ`` into an upper
+bound on OPT; benchmarks report that certificate alongside measured
+profits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["DualState"]
+
+
+class DualState:
+    """Sparse ``(alpha, beta)`` assignment plus raise bookkeeping.
+
+    Parameters
+    ----------
+    profits:
+        ``profits[iid]`` = profit of instance ``iid``.
+    heights:
+        ``heights[iid]`` = height of instance ``iid`` (all 1.0 for unit).
+    demand_of:
+        ``demand_of[iid]`` = demand id of instance ``iid``.
+    edges_of:
+        ``edges_of[iid]`` = global edges instance ``iid`` is active on.
+    """
+
+    def __init__(
+        self,
+        profits: Sequence[float],
+        heights: Sequence[float],
+        demand_of: Sequence[int],
+        edges_of: Sequence[Iterable],
+    ):
+        self.profits = [float(p) for p in profits]
+        self.heights = [float(h) for h in heights]
+        self.demand_of = list(demand_of)
+        self.edges_of = [tuple(e) for e in edges_of]
+        if not (
+            len(self.profits)
+            == len(self.heights)
+            == len(self.demand_of)
+            == len(self.edges_of)
+        ):
+            raise ValueError("profits/heights/demand_of/edges_of lengths differ")
+        self.alpha: dict[int, float] = {}
+        self.beta: dict[object, float] = {}
+        #: per-instance record of raises: (delta, critical edges, beta bump)
+        self.raise_log: list[tuple[int, float, tuple, float]] = []
+
+    # ------------------------------------------------------------------
+    # Constraint evaluation
+    # ------------------------------------------------------------------
+
+    def lhs(self, iid: int) -> float:
+        """LHS of instance ``iid``'s dual constraint (height-weighted)."""
+        beta_sum = 0.0
+        beta = self.beta
+        for e in self.edges_of[iid]:
+            b = beta.get(e)
+            if b is not None:
+                beta_sum += b
+        return self.alpha.get(self.demand_of[iid], 0.0) + self.heights[iid] * beta_sum
+
+    def slack(self, iid: int) -> float:
+        """``p(d) - LHS``; positive while the constraint is unsatisfied."""
+        return self.profits[iid] - self.lhs(iid)
+
+    def satisfied(self, iid: int, xi: float = 1.0) -> bool:
+        """Whether instance ``iid`` is ``xi``-satisfied: ``LHS >= xi·p``."""
+        return self.lhs(iid) >= xi * self.profits[iid] - 1e-12
+
+    def realized_lambda(self, population: Iterable[int] | None = None) -> float:
+        """Measured slackness ``λ``: ``min_d LHS(d)/p(d)`` (capped at 1).
+
+        Section 3.2's parameter; the approximation certificates of
+        Lemmas 3.1 and 6.1 divide by this.
+        """
+        iids = population if population is not None else range(len(self.profits))
+        lam = 1.0
+        for iid in iids:
+            lam = min(lam, self.lhs(iid) / self.profits[iid])
+        return lam
+
+    # ------------------------------------------------------------------
+    # Raising rules
+    # ------------------------------------------------------------------
+
+    def raise_unit(
+        self, iid: int, critical: Sequence, include_alpha: bool = True
+    ) -> float:
+        """Section 3.2's raise: δ = slack/(|π|+1); α and each β(e∈π) += δ.
+
+        With ``include_alpha=False`` (the Appendix-A single-tree
+        improvement, where at most one instance per demand exists) only
+        the β variables are raised and δ = slack/|π|.
+
+        Returns the applied δ.  Tightens the constraint exactly when the
+        critical edges are a subset of the instance's active edges.
+        """
+        s = self.slack(iid)
+        if s <= 0:
+            return 0.0
+        denom = len(critical) + (1 if include_alpha else 0)
+        if denom == 0:
+            raise ValueError(
+                f"instance {iid}: cannot raise with no critical edges and "
+                "no alpha"
+            )
+        delta = s / denom
+        if include_alpha:
+            a = self.demand_of[iid]
+            self.alpha[a] = self.alpha.get(a, 0.0) + delta
+        for e in critical:
+            self.beta[e] = self.beta.get(e, 0.0) + delta
+        self.raise_log.append((iid, delta, tuple(critical), delta))
+        return delta
+
+    def raise_narrow(self, iid: int, critical: Sequence) -> float:
+        """Section 6.1's raise for narrow instances.
+
+        δ = slack / (1 + 2·h·|π|²); α += δ and each β(e∈π) += 2|π|δ, which
+        tightens the height-weighted constraint
+        (α gains δ, the β-sum gains |π|·2|π|δ, scaled by h).
+        Returns the applied δ.
+        """
+        s = self.slack(iid)
+        if s <= 0:
+            return 0.0
+        k = len(critical)
+        h = self.heights[iid]
+        delta = s / (1.0 + 2.0 * h * k * k)
+        a = self.demand_of[iid]
+        self.alpha[a] = self.alpha.get(a, 0.0) + delta
+        bump = 2.0 * k * delta
+        for e in critical:
+            self.beta[e] = self.beta.get(e, 0.0) + bump
+        self.raise_log.append((iid, delta, tuple(critical), bump))
+        return delta
+
+    # ------------------------------------------------------------------
+    # Certificates
+    # ------------------------------------------------------------------
+
+    def objective(self) -> float:
+        """Dual objective ``Σ alpha(a) + Σ beta(e)`` of the assignment."""
+        return sum(self.alpha.values()) + sum(self.beta.values())
+
+    def opt_upper_bound(self, population: Iterable[int] | None = None) -> float:
+        """Weak-duality certificate: ``objective / λ`` upper-bounds OPT.
+
+        Scaling the assignment by ``1/λ`` yields a feasible dual solution
+        (proof of Lemma 3.1), whose objective dominates the primal optimum.
+        """
+        lam = self.realized_lambda(population)
+        if lam <= 0:
+            return float("inf")
+        return self.objective() / lam

@@ -1,0 +1,323 @@
+"""Problem containers: tree-network and line-network scheduling instances.
+
+A problem instance bundles the vertex set, the networks, the demands, and
+the *accessibility* map ``Acc(P)`` (which networks each processor/demand
+can use, Section 2).  It expands demands into the flat list of demand
+instances the algorithms operate on, caches each instance's route, and
+builds the per-edge activity index used for conflict detection and
+feasibility checking.
+
+Global edge identifiers are ``(network_id, edge_key)`` for tree problems
+and ``(network_id, timeslot)`` for line problems, so dual variables
+``beta(e)`` live in a single dictionary even across networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..network.line import LineNetwork
+from ..network.tree import TreeNetwork
+from .demand import (
+    Demand,
+    LineDemandInstance,
+    TreeDemandInstance,
+    WindowDemand,
+)
+
+__all__ = ["TreeProblem", "LineProblem", "GlobalEdge"]
+
+#: ``(network_id, edge_key)`` for trees, ``(network_id, timeslot)`` for lines.
+GlobalEdge = tuple[int, Hashable]
+
+
+def _validate_access(access: Sequence[set[int]], m: int, r: int) -> list[frozenset[int]]:
+    if len(access) != m:
+        raise ValueError(f"need one access set per demand: got {len(access)}, want {m}")
+    out: list[frozenset[int]] = []
+    for i, acc in enumerate(access):
+        fz = frozenset(int(t) for t in acc)
+        if not fz:
+            raise ValueError(f"processor {i} can access no network")
+        if any(t < 0 or t >= r for t in fz):
+            raise ValueError(f"processor {i} access set {set(acc)} out of range 0..{r - 1}")
+        out.append(fz)
+    return out
+
+
+@dataclass
+class TreeProblem:
+    """Throughput maximization on tree-networks (Sections 2 and 6).
+
+    Parameters
+    ----------
+    n:
+        Number of vertices in the shared vertex set.
+    networks:
+        The tree-networks, each spanning ``0 .. n-1``.  ``networks[q]``
+        must have ``network_id == q``.
+    demands:
+        One :class:`~repro.core.demand.Demand` per processor.
+    access:
+        ``access[i]`` is ``Acc(P_i)``: the network ids processor ``i``
+        (owner of ``demands[i]``) may schedule on.
+    """
+
+    n: int
+    networks: list[TreeNetwork]
+    demands: list[Demand]
+    access: list[frozenset[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.networks:
+            raise ValueError("need at least one tree-network")
+        for q, net in enumerate(self.networks):
+            if net.network_id != q:
+                raise ValueError(
+                    f"networks[{q}] has network_id {net.network_id}; ids must "
+                    "equal list positions"
+                )
+            if net.n != self.n:
+                raise ValueError(
+                    f"network {q} has {net.n} vertices, instance declares {self.n}"
+                )
+        for i, a in enumerate(self.demands):
+            if a.demand_id != i:
+                raise ValueError(
+                    f"demands[{i}] has demand_id {a.demand_id}; ids must equal "
+                    "list positions"
+                )
+            if not (0 <= a.u < self.n and 0 <= a.v < self.n):
+                raise ValueError(f"demand {i} endpoints outside 0..{self.n - 1}")
+        if not self.access:
+            # Default: every processor accesses every network.
+            self.access = [frozenset(range(len(self.networks)))] * len(self.demands)
+        self.access = _validate_access(self.access, len(self.demands), len(self.networks))
+        self._instances: list[TreeDemandInstance] | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_networks(self) -> int:
+        """Number of tree-networks ``r``."""
+        return len(self.networks)
+
+    @property
+    def num_demands(self) -> int:
+        """Number of demands / processors ``m``."""
+        return len(self.demands)
+
+    @property
+    def unit_height(self) -> bool:
+        """Whether every demand has height exactly 1 (Section 2's case)."""
+        return all(a.height == 1.0 for a in self.demands)
+
+    def profit_range(self) -> tuple[float, float]:
+        """``(pmin, pmax)`` over all demands."""
+        profits = [a.profit for a in self.demands]
+        return min(profits), max(profits)
+
+    # ------------------------------------------------------------------
+
+    def instances(self) -> list[TreeDemandInstance]:
+        """Expand demands into demand instances (one per accessible network).
+
+        Routes (``path_edges``) are computed once and cached on each
+        instance.  Instance ids are ``0 .. |D|-1`` in a deterministic
+        order (by demand id, then network id).
+        """
+        if self._instances is None:
+            out: list[TreeDemandInstance] = []
+            for a in self.demands:
+                for q in sorted(self.access[a.demand_id]):
+                    net = self.networks[q]
+                    path = tuple(net.path_edges(a.u, a.v))
+                    out.append(
+                        TreeDemandInstance(
+                            instance_id=len(out),
+                            demand_id=a.demand_id,
+                            network_id=q,
+                            u=a.u,
+                            v=a.v,
+                            profit=a.profit,
+                            height=a.height,
+                            path_edges=path,
+                        )
+                    )
+            self._instances = out
+        return self._instances
+
+    def global_edges_of(self, inst: TreeDemandInstance) -> list[GlobalEdge]:
+        """The global edge ids the instance is active on (``d ∼ e``)."""
+        return [(inst.network_id, ek) for ek in inst.path_edges]
+
+    def edge_activity(self) -> dict[GlobalEdge, list[int]]:
+        """Map every global edge to the instance ids active on it."""
+        act: dict[GlobalEdge, list[int]] = {}
+        for inst in self.instances():
+            for ge in self.global_edges_of(inst):
+                act.setdefault(ge, []).append(inst.instance_id)
+        return act
+
+    def communication_graph(self):
+        """The processor communication graph (Section 2).
+
+        Two processors may talk iff their access sets intersect.  Returned
+        as a :class:`networkx.Graph` over processor ids; used by the
+        distributed substrate.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_demands))
+        by_net: dict[int, list[int]] = {}
+        for i, acc in enumerate(self.access):
+            for q in acc:
+                by_net.setdefault(q, []).append(i)
+        for members in by_net.values():
+            for a, b in zip(members, members[1:]):
+                g.add_edge(a, b)
+            # The shared-resource groups are cliques in the communication
+            # graph; a path through the group preserves connectivity and
+            # keeps the graph sparse.  Full cliques are what the model
+            # allows — add them for small groups where it is cheap.
+            if len(members) <= 50:
+                for ia, a in enumerate(members):
+                    for b in members[ia + 1:]:
+                        g.add_edge(a, b)
+        return g
+
+
+@dataclass
+class LineProblem:
+    """Throughput maximization on line-networks with windows (Section 7).
+
+    Parameters
+    ----------
+    n_slots:
+        Number of timeslots on the timeline.
+    resources:
+        The line-networks; ``resources[q]`` must have ``network_id == q``
+        and span ``n_slots`` timeslots.
+    demands:
+        One :class:`~repro.core.demand.WindowDemand` per processor.
+    access:
+        ``access[i]`` = resource ids processor ``i`` may use.
+    """
+
+    n_slots: int
+    resources: list[LineNetwork]
+    demands: list[WindowDemand]
+    access: list[frozenset[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.resources:
+            raise ValueError("need at least one resource")
+        for q, res in enumerate(self.resources):
+            if res.network_id != q:
+                raise ValueError(
+                    f"resources[{q}] has network_id {res.network_id}; ids must "
+                    "equal list positions"
+                )
+            if res.n_slots != self.n_slots:
+                raise ValueError(
+                    f"resource {q} has {res.n_slots} timeslots, instance "
+                    f"declares {self.n_slots}"
+                )
+        for i, a in enumerate(self.demands):
+            if a.demand_id != i:
+                raise ValueError(
+                    f"demands[{i}] has demand_id {a.demand_id}; ids must equal "
+                    "list positions"
+                )
+            if a.deadline >= self.n_slots:
+                raise ValueError(
+                    f"demand {i} deadline {a.deadline} outside timeline "
+                    f"0..{self.n_slots - 1}"
+                )
+        if not self.access:
+            self.access = [frozenset(range(len(self.resources)))] * len(self.demands)
+        self.access = _validate_access(self.access, len(self.demands), len(self.resources))
+        self._instances: list[LineDemandInstance] | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_networks(self) -> int:
+        """Number of resources ``r``."""
+        return len(self.resources)
+
+    @property
+    def num_demands(self) -> int:
+        """Number of demands / processors ``m``."""
+        return len(self.demands)
+
+    @property
+    def unit_height(self) -> bool:
+        """Whether every demand has height exactly 1."""
+        return all(a.height == 1.0 for a in self.demands)
+
+    def profit_range(self) -> tuple[float, float]:
+        """``(pmin, pmax)`` over all demands."""
+        profits = [a.profit for a in self.demands]
+        return min(profits), max(profits)
+
+    def length_range(self) -> tuple[int, int]:
+        """``(Lmin, Lmax)`` over all demand processing times (Section 7)."""
+        lengths = [a.proc_time for a in self.demands]
+        return min(lengths), max(lengths)
+
+    # ------------------------------------------------------------------
+
+    def instances(self) -> list[LineDemandInstance]:
+        """Expand windows: one instance per (resource, placement) pair."""
+        if self._instances is None:
+            out: list[LineDemandInstance] = []
+            for a in self.demands:
+                for q in sorted(self.access[a.demand_id]):
+                    for s, e in a.placements():
+                        out.append(
+                            LineDemandInstance(
+                                instance_id=len(out),
+                                demand_id=a.demand_id,
+                                network_id=q,
+                                start=s,
+                                end=e,
+                                profit=a.profit,
+                                height=a.height,
+                            )
+                        )
+            self._instances = out
+        return self._instances
+
+    def global_edges_of(self, inst: LineDemandInstance) -> list[GlobalEdge]:
+        """The global edge ids (resource, timeslot) the instance covers."""
+        return [(inst.network_id, t) for t in range(inst.start, inst.end + 1)]
+
+    def edge_activity(self) -> dict[GlobalEdge, list[int]]:
+        """Map every (resource, timeslot) to the instance ids active on it."""
+        act: dict[GlobalEdge, list[int]] = {}
+        for inst in self.instances():
+            for ge in self.global_edges_of(inst):
+                act.setdefault(ge, []).append(inst.instance_id)
+        return act
+
+    def communication_graph(self):
+        """Processor communication graph (shared-resource adjacency)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_demands))
+        by_net: dict[int, list[int]] = {}
+        for i, acc in enumerate(self.access):
+            for q in acc:
+                by_net.setdefault(q, []).append(i)
+        for members in by_net.values():
+            for a, b in zip(members, members[1:]):
+                g.add_edge(a, b)
+            if len(members) <= 50:
+                for ia, a in enumerate(members):
+                    for b in members[ia + 1:]:
+                        g.add_edge(a, b)
+        return g

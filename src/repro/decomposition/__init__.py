@@ -1,0 +1,17 @@
+"""Tree decompositions and layered decompositions (Section 4)."""
+
+from .balanced import balancing_decomposition
+from .base import TreeDecomposition
+from .ideal import ideal_decomposition
+from .layered import LayeredDecomposition, line_layers, tree_layers
+from .rooted import root_fixing_decomposition
+
+__all__ = [
+    "LayeredDecomposition",
+    "TreeDecomposition",
+    "balancing_decomposition",
+    "ideal_decomposition",
+    "line_layers",
+    "root_fixing_decomposition",
+    "tree_layers",
+]

@@ -1,0 +1,31 @@
+"""Balancing tree decomposition (Section 4.2, second construction).
+
+``BuildBalTD``: find a *balancer* (centroid) ``z`` of the component — a
+vertex whose removal leaves pieces of size at most ``⌊|C|/2⌋`` — make it
+the root, and recurse on the pieces.  The depth is at most
+``⌈log n⌉ + 1`` because sizes halve, but a component's outside
+neighbourhood can accumulate one vertex per level, so the pivot size can
+reach the depth (``θ = O(log n)``).  The ideal decomposition (Section 4.3)
+fixes exactly this.
+"""
+
+from __future__ import annotations
+
+from ..network.tree import TreeNetwork
+from .base import TreeDecomposition
+
+__all__ = ["balancing_decomposition"]
+
+
+def balancing_decomposition(tree: TreeNetwork) -> TreeDecomposition:
+    """Centroid recursion: depth ``O(log n)``, pivot size up to the depth."""
+    parent = [-1] * tree.n
+    # Iterative worklist of (component, parent-in-H) pairs.
+    work: list[tuple[set[int], int]] = [(set(range(tree.n)), -1)]
+    while work:
+        comp, par = work.pop()
+        z = tree.find_balancer(comp)
+        parent[z] = par
+        for piece in tree.split_component(z, comp):
+            work.append((piece, z))
+    return TreeDecomposition(tree, parent, name="balancing")

@@ -1,0 +1,217 @@
+"""Tree-decomposition representation (Section 4.1).
+
+A *tree decomposition* of a tree-network ``T`` (the paper's notion — not
+the treewidth notion) is a rooted tree ``H`` over the same vertex set such
+that
+
+1. (LCA property) every demand path through ``x`` and ``y`` also passes
+   through ``LCA_H(x, y)``; and
+2. (component property) for every node ``z``, the set ``C(z)`` of ``z``
+   and its ``H``-descendants induces a connected subtree of ``T``.
+
+Its quality is measured by its **depth** and its **pivot size**
+``θ = max_z |χ(z)|``, where ``χ(z) = Γ[C(z)]`` is the ``T``-neighbourhood
+of the component ``C(z)``.
+
+:class:`TreeDecomposition` stores ``H`` (parent pointers), exposes the
+queries the algorithms need — the *capture node* ``µ(d)`` of a demand path
+and the pivot set ``χ(z)`` — and precomputes all pivot sets in
+``O(n · depth)`` using the fact that for every ``T``-edge ``{x, y}`` one
+endpoint is an ``H``-ancestor of the other (the edge's two-vertex path
+must pass through its own LCA).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..network.tree import TreeNetwork
+
+__all__ = ["TreeDecomposition"]
+
+
+class TreeDecomposition:
+    """A rooted tree ``H`` over the vertices of a tree-network.
+
+    Parameters
+    ----------
+    tree:
+        The tree-network being decomposed.
+    parent:
+        ``parent[v]`` = parent of ``v`` in ``H``, or ``-1`` for the root.
+        Exactly one root is required.
+    name:
+        Human-readable label of the construction (used in benchmarks).
+    """
+
+    __slots__ = ("tree", "parent", "root", "depth", "children", "name",
+                 "_tin", "_tout", "_chi")
+
+    def __init__(self, tree: TreeNetwork, parent: Sequence[int], name: str = ""):
+        n = tree.n
+        if len(parent) != n:
+            raise ValueError(f"parent array has {len(parent)} entries, tree has {n}")
+        roots = [v for v in range(n) if parent[v] == -1]
+        if len(roots) != 1:
+            raise ValueError(f"expected exactly one root, found {roots}")
+        self.tree = tree
+        self.parent = list(parent)
+        self.root = roots[0]
+        self.name = name or self.__class__.__name__
+        children: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            p = parent[v]
+            if p != -1:
+                if not (0 <= p < n):
+                    raise ValueError(f"parent of {v} out of range: {p}")
+                children[p].append(v)
+        self.children = children
+        # Depth (root has depth 1, per the paper) via BFS from the root;
+        # also detects cycles / disconnected parent structures.
+        depth = [0] * n
+        depth[self.root] = 1
+        order = [self.root]
+        for v in order:
+            for c in children[v]:
+                depth[c] = depth[v] + 1
+                order.append(c)
+        if len(order) != n:
+            raise ValueError("parent pointers do not form a single rooted tree")
+        self.depth = depth
+        # Euler intervals for O(1) ancestor tests.
+        tin = [0] * n
+        tout = [0] * n
+        clock = 0
+        stack: list[tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                tout[v] = clock
+                clock += 1
+                continue
+            tin[v] = clock
+            clock += 1
+            stack.append((v, True))
+            for c in children[v]:
+                stack.append((c, False))
+        self._tin = tin
+        self._tout = tout
+        self._chi: list[tuple[int, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.tree.n
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of ``H`` (root counts as depth 1, per Section 4)."""
+        return max(self.depth)
+
+    def is_ancestor(self, a: int, b: int) -> bool:
+        """Whether ``a`` is an ``H``-ancestor of ``b`` (strict)."""
+        if a == b:
+            return False
+        return self._tin[a] <= self._tin[b] and self._tout[b] <= self._tout[a]
+
+    def lca(self, u: int, v: int) -> int:
+        """LCA of ``u`` and ``v`` in ``H`` (by parent climbing)."""
+        depth, parent = self.depth, self.parent
+        while depth[u] > depth[v]:
+            u = parent[u]
+        while depth[v] > depth[u]:
+            v = parent[v]
+        while u != v:
+            u = parent[u]
+            v = parent[v]
+        return u
+
+    def component(self, z: int) -> set[int]:
+        """``C(z)``: ``z`` plus its ``H``-descendants (Section 4.1)."""
+        out = {z}
+        stack = [z]
+        while stack:
+            x = stack.pop()
+            for c in self.children[x]:
+                out.add(c)
+                stack.append(c)
+        return out
+
+    # ------------------------------------------------------------------
+    # Capture nodes and pivot sets
+    # ------------------------------------------------------------------
+
+    def capture(self, u: int, v: int) -> int:
+        """``µ(d)``: the least-depth ``H``-node on the ``T``-path ``u–v``.
+
+        Property 1 of tree decompositions makes it unique (it equals
+        ``LCA_H(u, v)`` for a valid decomposition; we compute it as the
+        depth-min over path vertices, which is also meaningful — and
+        checkable — for *invalid* candidate decompositions).
+        """
+        best = u
+        bd = self.depth[u]
+        for x in self.tree.path_vertices(u, v):
+            if self.depth[x] < bd:
+                best, bd = x, self.depth[x]
+        return best
+
+    def chi(self, z: int) -> tuple[int, ...]:
+        """Pivot set ``χ(z) = Γ[C(z)]`` (computed lazily for all nodes)."""
+        if self._chi is None:
+            self._compute_all_chi()
+        assert self._chi is not None
+        return self._chi[z]
+
+    @property
+    def pivot_size(self) -> int:
+        """``θ``: the maximum pivot-set cardinality over all nodes."""
+        if self._chi is None:
+            self._compute_all_chi()
+        assert self._chi is not None
+        return max((len(c) for c in self._chi), default=0)
+
+    def _compute_all_chi(self) -> None:
+        """All pivot sets in ``O(n · depth)``.
+
+        For a ``T``-edge ``{x, y}`` with ``x`` an ``H``-ancestor of ``y``,
+        ``x`` neighbours ``C(z)`` exactly for the nodes ``z`` on the
+        ``H``-path from ``y`` up to (excluding) ``x``: those are the ``z``
+        with ``y ∈ C(z)`` and ``x ∉ C(z)``.
+        """
+        n = self.tree.n
+        chi_sets: list[set[int]] = [set() for _ in range(n)]
+        for (a, b) in self.tree.iter_edges():
+            if self.is_ancestor(a, b):
+                anc, desc = a, b
+            elif self.is_ancestor(b, a):
+                anc, desc = b, a
+            else:
+                raise ValueError(
+                    f"T-edge ({a},{b}) violates the LCA property: neither "
+                    "endpoint is an H-ancestor of the other"
+                )
+            z = desc
+            while z != anc:
+                chi_sets[z].add(anc)
+                z = self.parent[z]
+        self._chi = [tuple(sorted(s)) for s in chi_sets]
+
+    # ------------------------------------------------------------------
+
+    def levels(self) -> list[list[int]]:
+        """Vertices grouped by depth: ``levels()[i]`` holds depth ``i+1``."""
+        out: list[list[int]] = [[] for _ in range(self.max_depth)]
+        for v in range(self.n):
+            out[self.depth[v] - 1].append(v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TreeDecomposition({self.name}, n={self.n}, "
+            f"depth={self.max_depth})"
+        )

@@ -1,0 +1,166 @@
+"""Ideal tree decomposition (Section 4.3): depth ``O(log n)``, pivot ``θ = 2``.
+
+``BuildIdealTD`` recurses on components with **at most two outside
+neighbours**, guaranteeing every ``C(z)`` of the output keeps at most two
+outside neighbours — pivot size 2 — while sizes halve per level, so depth
+is at most ``2⌈log n⌉ (+1 for the global root)``.
+
+Per recursion level the procedure places one *balancer* ``z`` (a centroid
+of the component) and, in the involved case, one *junction* ``j``:
+
+* **Case 1** (one outside neighbour ``u1``): split at ``z``; every piece
+  sees at most ``{u1, z}``; ``z`` becomes the local root.
+* **Case 2a** (two outside neighbours whose attachment vertices ``u1'``,
+  ``u2'`` land in different pieces, or coincide with ``z``): same shape —
+  each piece sees at most two of ``{u1, u2, z}``.
+* **Case 2b** (``u1'`` and ``u2'`` in the *same* piece ``C1``): the piece
+  would see three neighbours, so first split ``C1`` at the junction
+  ``j = median_T(u1, u2, z)``.  ``j`` roots the local tree; ``z`` hangs
+  under ``j``; the ``z``-adjacent fragment of ``C1`` and the other pieces
+  of ``C \\ z`` hang under ``z``.  Every fragment again sees ≤ 2
+  neighbours.
+
+The paper's illustration (Figures 4 and 5) corresponds one-to-one with the
+branches below.
+"""
+
+from __future__ import annotations
+
+from ..network.tree import TreeNetwork
+from .base import TreeDecomposition
+
+__all__ = ["ideal_decomposition"]
+
+
+def ideal_decomposition(tree: TreeNetwork) -> TreeDecomposition:
+    """Build the ideal tree decomposition of ``tree`` (Lemma 4.1).
+
+    Returns a :class:`~repro.decomposition.base.TreeDecomposition` with
+    pivot size at most 2 and depth at most ``2⌈log₂ n⌉ + 1``.
+    """
+    n = tree.n
+    parent = [-1] * n
+    if n == 1:
+        return TreeDecomposition(tree, parent, name="ideal")
+
+    # Global root: a balancer of the whole vertex set.  Every piece of
+    # V \ g has exactly one outside neighbour, {g} — the precondition of
+    # BuildIdealTD.
+    g = tree.find_balancer(set(range(n)))
+    for piece in tree.split_component(g, set(range(n))):
+        root_of_piece = _build(tree, piece, _neighbors_capped(tree, piece), parent)
+        parent[root_of_piece] = g
+    return TreeDecomposition(tree, parent, name="ideal")
+
+
+def _neighbors_capped(tree: TreeNetwork, comp: set[int]) -> tuple[int, ...]:
+    """Outside neighbourhood ``Γ[comp]``, asserting the ≤2 precondition."""
+    nbrs = tuple(sorted(tree.component_neighbors(comp)))
+    if len(nbrs) > 2:
+        raise AssertionError(
+            f"BuildIdealTD precondition violated: component of size "
+            f"{len(comp)} has {len(nbrs)} neighbours {nbrs}"
+        )
+    return nbrs
+
+
+def _attach_vertex(tree: TreeNetwork, outside: int, comp: set[int]) -> int:
+    """The unique vertex of ``comp`` adjacent to the outside vertex.
+
+    Uniqueness: two attachment vertices would close a cycle through the
+    connected component.
+    """
+    hits = [x for x in tree.adj[outside] if x in comp]
+    if len(hits) != 1:
+        raise AssertionError(
+            f"outside vertex {outside} touches component at {hits}; trees "
+            "allow exactly one attachment"
+        )
+    return hits[0]
+
+
+def _build(
+    tree: TreeNetwork,
+    comp: set[int],
+    nbrs: tuple[int, ...],
+    parent: list[int],
+) -> int:
+    """BuildIdealTD on ``comp`` (≤2 outside neighbours); returns its H-root.
+
+    Writes parent pointers for every vertex of ``comp`` except the
+    returned root (whose parent the caller assigns).
+    """
+    if len(comp) == 1:
+        return next(iter(comp))
+
+    z = tree.find_balancer(comp)
+    pieces = tree.split_component(z, comp)
+
+    # Attachment vertices of the outside neighbours inside comp.
+    attach = [_attach_vertex(tree, u, comp) for u in nbrs]
+
+    if len(nbrs) == 2 and attach[0] != z and attach[1] != z:
+        piece_of = {}
+        for idx, piece in enumerate(pieces):
+            if attach[0] in piece:
+                piece_of[0] = idx
+            if attach[1] in piece:
+                piece_of[1] = idx
+        if piece_of[0] == piece_of[1]:
+            return _build_case_2b(
+                tree, comp, nbrs, parent, z, pieces, pieces[piece_of[0]]
+            )
+
+    # Cases 1 / 2a / degenerate 2: z roots the local tree; every piece
+    # sees at most two of {z} ∪ nbrs.
+    for piece in pieces:
+        sub_nbrs = _neighbors_capped(tree, piece)
+        r = _build(tree, piece, sub_nbrs, parent)
+        parent[r] = z
+    return z
+
+
+def _build_case_2b(
+    tree: TreeNetwork,
+    comp: set[int],
+    nbrs: tuple[int, ...],
+    parent: list[int],
+    z: int,
+    pieces: list[set[int]],
+    c1: set[int],
+) -> int:
+    """Case 2b: both attachment vertices live in the same piece ``c1``.
+
+    The junction ``j = median_T(u1, u2, z)`` lies on the ``u1–u2`` path
+    inside ``c1``.  Local shape (Figure 5):
+
+    * ``j`` is the root;
+    * fragments of ``c1 \\ j`` *not* adjacent to ``z`` hang under ``j``;
+    * ``z`` hangs under ``j``;
+    * the fragment of ``c1 \\ j`` adjacent to ``z`` (if any) and the other
+      pieces of ``comp \\ z`` hang under ``z``.
+    """
+    u1, u2 = nbrs
+    j = tree.median(u1, u2, z)
+    if j not in c1:
+        raise AssertionError(
+            f"junction {j} escaped its component; median of ({u1},{u2},{z})"
+        )
+
+    # z's unique T-neighbour inside c1 tells us which fragment of c1 \ j
+    # stays adjacent to z after the split (none if that neighbour is j).
+    z_attach = _attach_vertex(tree, z, c1)
+
+    fragments = tree.split_component(j, c1)
+    for frag in fragments:
+        sub_nbrs = _neighbors_capped(tree, frag)
+        r = _build(tree, frag, sub_nbrs, parent)
+        parent[r] = z if (z_attach != j and z_attach in frag) else j
+    parent[z] = j
+    for piece in pieces:
+        if piece is c1:
+            continue
+        sub_nbrs = _neighbors_capped(tree, piece)
+        r = _build(tree, piece, sub_nbrs, parent)
+        parent[r] = z
+    return j

@@ -1,0 +1,171 @@
+"""Layered decompositions (Section 4.4) and the line variant (Section 7).
+
+A *layered decomposition* of the demand instances of one network is a pair
+``(σ, π)``: an ordered partition ``σ = G_1, …, G_ℓ`` of the instances and a
+map ``π`` assigning each instance a set of *critical edges* on its route,
+such that for any ``i ≤ j`` and overlapping ``d1 ∈ G_i``, ``d2 ∈ G_j``,
+``path(d2)`` contains a critical edge of ``d1``.  The framework processes
+groups in order, so this is exactly the *interference property* the
+approximation guarantee needs (Lemma 3.1).
+
+Two constructions:
+
+* :func:`tree_layers` (Lemma 4.2): from a tree decomposition with pivot
+  size ``θ`` and depth ``ℓ`` — groups by capture-node depth (deepest
+  first); ``π(d)`` = wings of the capture node plus wings of the bending
+  points towards each pivot, giving ``∆ ≤ 2(θ + 1)``.  With the ideal
+  decomposition: ``∆ = 6``, ``ℓ = O(log n)`` (Lemma 4.3).
+* :func:`line_layers` (Section 7, implicit in Panconesi–Sozio): groups by
+  length (shortest first, doubling buckets); ``π(d)`` = the start, middle
+  and end timeslots, giving ``∆ = 3``, ``ℓ = ⌈log(Lmax/Lmin)⌉ + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.demand import LineDemandInstance, TreeDemandInstance
+from .base import TreeDecomposition
+
+__all__ = ["LayeredDecomposition", "tree_layers", "line_layers"]
+
+
+@dataclass
+class LayeredDecomposition:
+    """``(σ, π)`` for the demand instances of one network.
+
+    Attributes
+    ----------
+    groups:
+        ``groups[k]`` lists the instance ids of ``G_{k+1}`` (processed
+        first).
+    critical:
+        ``critical[iid]`` = the critical edge set ``π(d)``, as *local*
+        edge keys (tree edge keys or timeslot ints).
+    name:
+        Label of the construction.
+    """
+
+    groups: list[list[int]]
+    critical: dict[int, tuple]
+    name: str = "layered"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        """``ℓ``: number of groups."""
+        return len(self.groups)
+
+    @property
+    def delta(self) -> int:
+        """``∆``: largest critical-set cardinality."""
+        return max((len(c) for c in self.critical.values()), default=0)
+
+    def group_of(self) -> dict[int, int]:
+        """Map instance id → 0-based group index."""
+        out: dict[int, int] = {}
+        for k, grp in enumerate(self.groups):
+            for iid in grp:
+                out[iid] = k
+        return out
+
+
+def tree_layers(
+    td: TreeDecomposition, instances: Sequence[TreeDemandInstance]
+) -> LayeredDecomposition:
+    """Lemma 4.2: layer the instances of ``td.tree``'s network.
+
+    ``instances`` must all belong to the network ``td`` decomposes.
+    Groups: instances captured at the deepest ``H``-nodes first (group
+    ``G_i`` holds captures at depth ``ℓ - i + 1``).  Critical edges of
+    ``d``: wings of ``µ(d)`` on ``path(d)``, plus for every pivot
+    ``u ∈ χ(µ(d))`` the wings of the bending point of ``path(d)`` w.r.t.
+    ``u`` — at most ``2(θ + 1)`` edges.
+    """
+    tree = td.tree
+    ell = td.max_depth
+    groups: list[list[int]] = [[] for _ in range(ell)]
+    critical: dict[int, tuple] = {}
+    for inst in instances:
+        if inst.network_id != tree.network_id:
+            raise ValueError(
+                f"instance {inst.instance_id} is on network {inst.network_id}, "
+                f"decomposition is for network {tree.network_id}"
+            )
+        ends = (inst.u, inst.v)
+        z = td.capture(inst.u, inst.v)
+        # Group G_i holds captures at depth ell - i + 1; 0-based index
+        # ell - depth.  Deepest captures land in groups[0].
+        groups[ell - td.depth[z]].append(inst.instance_id)
+        pi: list = []
+        seen: set = set()
+        for ek in tree.wings(z, ends):
+            if ek not in seen:
+                seen.add(ek)
+                pi.append(ek)
+        for u in td.chi(z):
+            y = tree.bending_point(u, ends)
+            for ek in tree.wings(y, ends):
+                if ek not in seen:
+                    seen.add(ek)
+                    pi.append(ek)
+        critical[inst.instance_id] = tuple(pi)
+    return LayeredDecomposition(
+        groups=groups,
+        critical=critical,
+        name=f"tree-layers[{td.name}]",
+        meta={"theta": td.pivot_size, "depth": ell},
+    )
+
+
+def line_layers(
+    instances: Sequence[LineDemandInstance],
+    l_min: int | None = None,
+    l_max: int | None = None,
+) -> LayeredDecomposition:
+    """Section 7's length-bucket layering for line instances: ``∆ = 3``.
+
+    Bucket ``G_i`` holds the instances with
+    ``2^{i-1}·Lmin ≤ len(d) < 2^i·Lmin`` (shortest first); critical
+    timeslots are ``{s(d), mid(d), e(d)}``.  ``l_min``/``l_max`` default
+    to the observed extremes; passing them fixes the bucket grid when
+    several populations must share one layering.
+    """
+    if not instances:
+        return LayeredDecomposition(groups=[], critical={}, name="line-layers")
+    lengths = [inst.length for inst in instances]
+    lmin = l_min if l_min is not None else min(lengths)
+    lmax = l_max if l_max is not None else max(lengths)
+    if lmin < 1:
+        raise ValueError("Lmin must be at least 1")
+    # Number of doubling buckets covering [lmin, lmax].
+    ell = 1
+    top = lmin * 2
+    while top <= lmax:
+        top *= 2
+        ell += 1
+    groups: list[list[int]] = [[] for _ in range(ell)]
+    critical: dict[int, tuple] = {}
+    for inst in instances:
+        ln = inst.length
+        if ln < lmin or ln > lmax:
+            raise ValueError(
+                f"instance {inst.instance_id} length {ln} outside declared "
+                f"[{lmin}, {lmax}]"
+            )
+        k = 0
+        bound = lmin * 2
+        while ln >= bound:
+            bound *= 2
+            k += 1
+        groups[k].append(inst.instance_id)
+        mid = (inst.start + inst.end) // 2
+        pi = tuple(dict.fromkeys((inst.start, mid, inst.end)))
+        critical[inst.instance_id] = pi
+    return LayeredDecomposition(
+        groups=groups,
+        critical=critical,
+        name="line-layers",
+        meta={"l_min": lmin, "l_max": lmax},
+    )

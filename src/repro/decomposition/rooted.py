@@ -1,0 +1,41 @@
+"""Root-fixing tree decomposition (Section 4.2, first construction).
+
+Pick any vertex ``g`` and let ``H`` be ``T`` itself rooted at ``g``.  Every
+component ``C(z)`` is the ``T``-subtree below ``z``, whose only outside
+neighbour is ``z``'s parent — so the pivot size is ``θ = 1``, but the depth
+can be as large as ``n`` (e.g. on a path rooted at an end).  The
+sequential Appendix-A algorithm implicitly uses this decomposition.
+"""
+
+from __future__ import annotations
+
+from ..network.tree import TreeNetwork
+from .base import TreeDecomposition
+
+__all__ = ["root_fixing_decomposition"]
+
+
+def root_fixing_decomposition(tree: TreeNetwork, root: int = 0) -> TreeDecomposition:
+    """``T`` rooted at ``root``: pivot size 1, depth up to ``n``.
+
+    Parameters
+    ----------
+    tree:
+        The tree-network to decompose.
+    root:
+        The vertex ``g`` to root at (the paper picks it arbitrarily).
+    """
+    if not (0 <= root < tree.n):
+        raise ValueError(f"root {root} outside 0..{tree.n - 1}")
+    parent = [-1] * tree.n
+    seen = [False] * tree.n
+    seen[root] = True
+    stack = [root]
+    while stack:
+        x = stack.pop()
+        for y in tree.adj[x]:
+            if not seen[y]:
+                seen[y] = True
+                parent[y] = x
+                stack.append(y)
+    return TreeDecomposition(tree, parent, name="root-fixing")

@@ -1,0 +1,129 @@
+"""Independent validators for the Section 4 constructions.
+
+These re-check the defining properties from first principles (brute
+force where needed) so the constructions in this package are never graded
+by their own bookkeeping.  Used heavily in the test suite and by the
+decomposition benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import TreeDecomposition
+from .layered import LayeredDecomposition
+
+__all__ = [
+    "check_tree_decomposition",
+    "check_layered_decomposition",
+    "brute_force_chi",
+]
+
+
+def check_tree_decomposition(td: TreeDecomposition) -> None:
+    """Assert both defining properties of Section 4.1.
+
+    * component property: every ``C(z)`` induces a connected subtree;
+    * separation property: the pieces of ``C(z) \\ z`` are exactly the
+      child components ``C(z_1), …, C(z_s)`` — which implies the LCA
+      property (any path between different child components passes
+      ``z``).
+
+    Raises
+    ------
+    AssertionError
+        On any violation, with a message naming the offending node.
+    """
+    tree = td.tree
+    for z in range(tree.n):
+        comp = td.component(z)
+        if not tree.is_component(comp):
+            raise AssertionError(
+                f"C({z}) = {sorted(comp)} is not connected in T "
+                f"({td.name})"
+            )
+        if len(comp) > 1:
+            pieces = tree.split_component(z, comp)
+            child_comps = {frozenset(td.component(c)) for c in td.children[z]}
+            if set(map(frozenset, pieces)) != child_comps or len(child_comps) != len(
+                td.children[z]
+            ):
+                raise AssertionError(
+                    f"pieces of C({z}) \\ {z} disagree with the child "
+                    f"components ({td.name})"
+                )
+
+
+def brute_force_chi(td: TreeDecomposition, z: int) -> tuple[int, ...]:
+    """``χ(z)`` computed directly as ``Γ[C(z)]`` (no edge-walk shortcut)."""
+    comp = td.component(z)
+    return tuple(sorted(td.tree.component_neighbors(comp)))
+
+
+def check_pivot_sets(td: TreeDecomposition) -> None:
+    """Assert the fast ``χ`` computation matches the brute-force one."""
+    for z in range(td.tree.n):
+        fast = td.chi(z)
+        slow = brute_force_chi(td, z)
+        if fast != slow:
+            raise AssertionError(
+                f"χ({z}) mismatch ({td.name}): fast {fast} vs brute {slow}"
+            )
+
+
+def check_layered_decomposition(
+    ld: LayeredDecomposition,
+    edges_of: dict[int, frozenset],
+    *,
+    overlap: Callable[[int, int], bool] | None = None,
+) -> None:
+    """Assert the layered-decomposition property (Section 4.4).
+
+    For every ``i ≤ j`` and overlapping ``d1 ∈ G_i``, ``d2 ∈ G_j``:
+    ``path(d2)`` must contain a critical edge of ``d1``.  ``edges_of``
+    maps instance id → the *local* edge set of its route (same key space
+    as ``ld.critical``); ``overlap`` defaults to edge-set intersection.
+
+    Also asserts ``π(d) ⊆ path(d)`` and that every instance appears in
+    exactly one group.
+
+    Raises
+    ------
+    AssertionError
+        On any violation, naming the offending pair.
+    """
+    seen: set[int] = set()
+    for grp in ld.groups:
+        for iid in grp:
+            if iid in seen:
+                raise AssertionError(f"instance {iid} appears in two groups")
+            seen.add(iid)
+            if iid not in ld.critical:
+                raise AssertionError(f"instance {iid} has no critical set")
+            if not set(ld.critical[iid]) <= set(edges_of[iid]):
+                raise AssertionError(
+                    f"critical edges of {iid} are not all on its route"
+                )
+    if seen != set(edges_of):
+        missing = set(edges_of) - seen
+        raise AssertionError(f"instances missing from the layering: {missing}")
+
+    if overlap is None:
+        def overlap(a: int, b: int) -> bool:
+            return bool(edges_of[a] & edges_of[b])
+
+    flat: list[tuple[int, int]] = []  # (group index, iid)
+    for k, grp in enumerate(ld.groups):
+        flat.extend((k, iid) for iid in grp)
+    for ai in range(len(flat)):
+        gi, d1 = flat[ai]
+        crit1 = set(ld.critical[d1])
+        for bi in range(len(flat)):
+            gj, d2 = flat[bi]
+            if gj < gi or d1 == d2:
+                continue
+            if overlap(d1, d2) and not (crit1 & edges_of[d2]):
+                raise AssertionError(
+                    f"interference violated: d1={d1} (G{gi + 1}) overlaps "
+                    f"d2={d2} (G{gj + 1}) but path(d2) misses π(d1)={crit1}"
+                )

@@ -1,0 +1,20 @@
+"""Distributed substrate: synchronous simulator, MIS, protocol runtimes."""
+
+from .mis import greedy_mis, is_maximal_independent_set, luby_mis, priority_mis
+from .runtime import LineUnitRuntime, ProtocolRuntime, TreeNarrowRuntime, TreeUnitRuntime
+from .simulator import ProcessorBase, RoundContext, SimStats, SyncSimulator
+
+__all__ = [
+    "LineUnitRuntime",
+    "ProcessorBase",
+    "ProtocolRuntime",
+    "RoundContext",
+    "SimStats",
+    "SyncSimulator",
+    "TreeNarrowRuntime",
+    "TreeUnitRuntime",
+    "greedy_mis",
+    "is_maximal_independent_set",
+    "luby_mis",
+    "priority_mis",
+]

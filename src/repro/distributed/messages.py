@@ -1,0 +1,53 @@
+"""Message types for the synchronous message-passing substrate.
+
+The paper's model (Section 1): processors communicate in synchronous
+rounds with the processors they share a resource with; each message
+carries ``O(M)`` bits, where ``M`` encodes one demand (endpoints, profit,
+height, network).  Every message below fits that budget — the payloads
+are single demand-instance descriptors or single dual increments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["Kind", "Message", "InstanceInfo"]
+
+
+class Kind(Enum):
+    """Message kinds of the two-phase protocol."""
+
+    #: MIS subprotocol: advertise a candidate instance (with priority).
+    CANDIDATE = auto()
+    #: MIS subprotocol: the sender's candidate joined the MIS.
+    JOINED = auto()
+    #: MIS subprotocol: the sender's candidate retired (dominated).
+    RETIRED = auto()
+    #: Dual broadcast: β(e) was raised by the attached amount.
+    BETA_RAISE = auto()
+    #: Second phase: the sender added this instance to the solution.
+    SELECTED = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceInfo:
+    """O(M)-bit descriptor of a demand instance, as sent on the wire."""
+
+    instance_id: int
+    demand_id: int
+    network_id: int
+    u: int
+    v: int
+    profit: float
+    height: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message: sender/recipient processor ids plus a typed payload."""
+
+    sender: int
+    recipient: int
+    kind: Kind
+    payload: object = None

@@ -1,0 +1,465 @@
+"""Processor-level implementation of the unit-height algorithms.
+
+:mod:`repro.algorithms.framework` simulates the algorithms *logically*
+(global data structures, round ledger).  This module implements them the
+way Section 5's "Distributed Implementation" sketch describes — as actual
+agents exchanging ``O(M)``-bit messages over the shared-resource
+communication graph via :class:`~repro.distributed.simulator.SyncSimulator`:
+
+* every processor owns one demand, knows the topologies of the networks
+  it can access, and *locally* derives its instances' groups and
+  critical edges (here: taken from the same deterministic compile step
+  every processor would perform);
+* every processor keeps local copies of the β duals of the edges it can
+  see; raises propagate by neighbour broadcast;
+* each first-phase step runs a priority-MIS subprotocol (static
+  priorities = instance id; converges to the lexicographically first
+  MIS, so the result is *bit-identical* to the engine run with
+  ``mis="greedy"`` — the equivalence tests rely on this);
+* the second phase replays the step tuples in reverse with SELECTED
+  broadcasts maintaining each processor's used-edge view.
+
+:class:`ProtocolRuntime` is generic over the compiled
+:class:`~repro.algorithms.framework.EngineInput`;
+:class:`TreeUnitRuntime` and :class:`LineUnitRuntime` wire it to the two
+problem families.  Epoch and stage counts are global knowledge (derived
+from ``n``, ``ε``, ``pmax/pmin`` exactly as the paper assumes); step
+termination is detected by simulator quiescence, standing in for the
+fixed ``c·log(pmax/pmin)``-iteration schedule the paper runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import LineProblem, TreeProblem
+from ..core.solution import Solution
+from .messages import Kind, Message
+from .simulator import ProcessorBase, RoundContext, SyncSimulator
+
+__all__ = ["ProtocolRuntime", "TreeUnitRuntime", "LineUnitRuntime", "TreeNarrowRuntime"]
+
+
+@dataclass
+class _OwnInstance:
+    """A processor's local record of one of its demand instances."""
+
+    iid: int                       # priority in the MIS subprotocol
+    demand_id: int
+    network_id: int
+    profit: float
+    height: float                  # 1.0 in the unit case
+    path_edges: frozenset          # global (network, edge) ids
+    critical: tuple                # π(d), global ids
+    group: int                     # 0-based epoch index
+    # MIS state per step: None = inactive, else "undecided"/"joined"/"retired"
+    status: str | None = None
+    raised_at: tuple | None = None
+
+
+class _UnitProcessor(ProcessorBase):
+    """One agent: owns a demand, sees only its accessible networks.
+
+    ``narrow=True`` switches to the Section 6.1 raising rule
+    (height-weighted constraints, β bumps of ``2|π|δ``) and to
+    capacity-packing in the second phase.
+    """
+
+    def __init__(self, pid: int, instances: list[_OwnInstance],
+                 accessible: set[int], narrow: bool = False):
+        super().__init__(pid)
+        self.instances = instances
+        self.accessible = accessible
+        self.narrow = narrow
+        self.load: dict = {}                 # phase-2 capacity view (narrow)
+        self.alpha = 0.0                     # α of the owned demand
+        self.beta: dict = {}                 # local copies of β(e)
+        self.mode = "idle"
+        self.wants_round = False
+        self._remote: dict[int, dict] = {}   # MIS view of neighbour candidates
+        self._announce: list[_OwnInstance] = []
+        self.used_edges: set = set()         # phase-2 view
+        self.selection: _OwnInstance | None = None
+        self._select_pending: _OwnInstance | None = None
+        self._step_tuple: tuple | None = None
+
+    # ----------------------------- duals -----------------------------
+
+    def _lhs(self, own: _OwnInstance) -> float:
+        beta_sum = sum(self.beta.get(e, 0.0) for e in own.path_edges)
+        return self.alpha + own.height * beta_sum
+
+    def unsatisfied(self, own: _OwnInstance, target: float) -> bool:
+        return self._lhs(own) < target * own.profit - 1e-12
+
+    # --------------------------- phase 1 ------------------------------
+
+    def arm(self, epoch: int, target: float, step_tuple: tuple) -> int:
+        """Prepare this step: mark unsatisfied group members as candidates."""
+        self._remote.clear()
+        self._announce = []
+        self._step_tuple = step_tuple
+        count = 0
+        for own in self.instances:
+            own.status = None
+            if (
+                own.group == epoch
+                and own.raised_at is None
+                and self.unsatisfied(own, target)
+            ):
+                own.status = "undecided"
+                self._announce.append(own)
+                count += 1
+        self.mode = "mis"
+        self.wants_round = count > 0
+        return count
+
+    @staticmethod
+    def _conflicts(a_demand: int, a_net: int, a_edges: frozenset,
+                   b_demand: int, b_net: int, b_edges: frozenset) -> bool:
+        if a_demand == b_demand:
+            return True
+        if a_net != b_net:
+            return False
+        return bool(a_edges & b_edges)
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        if self.mode == "mis":
+            self._mis_round(ctx, inbox)
+        elif self.mode == "select":
+            self._select_round(ctx, inbox)
+        else:
+            self._absorb(inbox)
+            self.wants_round = False
+
+    def _absorb(self, inbox: list[Message]) -> None:
+        """Apply dual/selection updates that arrive outside an active mode."""
+        for msg in inbox:
+            if msg.kind is Kind.JOINED:
+                _iid, _dem, _net, _edges, raises = msg.payload
+                for e, amount in raises:
+                    if e[0] in self.accessible:
+                        self.beta[e] = self.beta.get(e, 0.0) + amount
+            elif msg.kind is Kind.SELECTED:
+                net, edges, height = msg.payload
+                if net in self.accessible:
+                    if self.narrow:
+                        for e in edges:
+                            self.load[e] = self.load.get(e, 0.0) + height
+                    else:
+                        self.used_edges |= set(edges)
+
+    def _mis_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        # 1. Ingest neighbour traffic (candidates first, so JOINED/RETIRED
+        #    always refer to a known record).
+        for msg in inbox:
+            if msg.kind is Kind.CANDIDATE:
+                iid, dem, net, edges = msg.payload
+                self._remote[iid] = {
+                    "demand": dem,
+                    "net": net,
+                    "edges": frozenset(edges),
+                    "status": "undecided",
+                }
+        for msg in inbox:
+            if msg.kind is Kind.JOINED:
+                iid, dem, net, edges, raises = msg.payload
+                rec = self._remote.get(iid)
+                if rec is not None:
+                    rec["status"] = "joined"
+                for e, amount in raises:
+                    if e[0] in self.accessible:
+                        self.beta[e] = self.beta.get(e, 0.0) + amount
+                # Own candidates conflicting with a joined neighbour retire.
+                for own in self.instances:
+                    if own.status == "undecided" and self._conflicts(
+                        own.demand_id, own.network_id, own.path_edges,
+                        dem, net, frozenset(edges),
+                    ):
+                        own.status = "retired"
+                        ctx.broadcast(Kind.RETIRED, own.iid)
+            elif msg.kind is Kind.RETIRED:
+                rec = self._remote.get(msg.payload)
+                if rec is not None:
+                    rec["status"] = "retired"
+
+        # 2. First round of the step: announce candidates.
+        if self._announce:
+            for own in self._announce:
+                ctx.broadcast(
+                    Kind.CANDIDATE,
+                    (own.iid, own.demand_id, own.network_id,
+                     tuple(own.path_edges)),
+                )
+            self._announce = []
+            self.wants_round = True
+            return
+
+        # 3. Decision rule: an undecided candidate joins when it beats every
+        #    undecided conflicting candidate (remote and own).
+        for own in sorted(
+            (o for o in self.instances if o.status == "undecided"),
+            key=lambda o: o.iid,
+        ):
+            if own.status != "undecided":
+                continue
+            dominated = False
+            for iid, rec in self._remote.items():
+                if rec["status"] == "undecided" and iid < own.iid and self._conflicts(
+                    own.demand_id, own.network_id, own.path_edges,
+                    rec["demand"], rec["net"], rec["edges"],
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                for other in self.instances:
+                    if (
+                        other is not own
+                        and other.status == "undecided"
+                        and other.iid < own.iid
+                    ):
+                        dominated = True  # same demand: always conflicting
+                        break
+            if dominated:
+                continue
+            # Join: raise duals locally and broadcast the β increments.
+            own.status = "joined"
+            own.raised_at = self._step_tuple
+            slack = own.profit - self._lhs(own)
+            k = len(own.critical)
+            if self.narrow:
+                delta = slack / (1.0 + 2.0 * own.height * k * k)
+                bump = 2.0 * k * delta
+            else:
+                delta = slack / (k + 1)
+                bump = delta
+            self.alpha += delta
+            raises = []
+            for e in own.critical:
+                self.beta[e] = self.beta.get(e, 0.0) + bump
+                raises.append((e, bump))
+            ctx.broadcast(
+                Kind.JOINED,
+                (own.iid, own.demand_id, own.network_id,
+                 tuple(own.path_edges), tuple(raises)),
+            )
+            # Sibling candidates retire (same demand conflict).
+            for other in self.instances:
+                if other is not own and other.status == "undecided":
+                    other.status = "retired"
+                    ctx.broadcast(Kind.RETIRED, other.iid)
+
+        self.wants_round = any(o.status == "undecided" for o in self.instances)
+
+    # --------------------------- phase 2 ------------------------------
+
+    def begin_select(self, step_tuple: tuple) -> None:
+        """Enter the pop round for ``step_tuple``."""
+        self.mode = "select"
+        self._select_pending = None
+        for own in self.instances:
+            if own.raised_at == step_tuple:
+                self._select_pending = own
+                break  # at most one per tuple: an MIS holds ≤1 per demand
+        self.wants_round = self._select_pending is not None
+
+    def _select_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        self._absorb(inbox)
+        own = self._select_pending
+        if own is None:
+            self.wants_round = False
+            return
+        self._select_pending = None
+        if self.narrow:
+            fits = self.selection is None and all(
+                self.load.get(e, 0.0) + own.height <= 1.0 + 1e-9
+                for e in own.path_edges
+            )
+            if fits:
+                self.selection = own
+                for e in own.path_edges:
+                    self.load[e] = self.load.get(e, 0.0) + own.height
+        else:
+            fits = self.selection is None and not (
+                own.path_edges & self.used_edges
+            )
+            if fits:
+                self.selection = own
+                self.used_edges |= own.path_edges
+        if fits:
+            ctx.broadcast(
+                Kind.SELECTED,
+                (own.network_id, tuple(own.path_edges), own.height),
+            )
+        self.wants_round = False
+
+
+class ProtocolRuntime:
+    """Run the agent-level protocol for a compiled unit-height problem.
+
+    Parameters
+    ----------
+    problem:
+        :class:`TreeProblem` or :class:`LineProblem` (unit semantics).
+    inp:
+        The compiled :class:`~repro.algorithms.framework.EngineInput`
+        (from :func:`~repro.algorithms.compile.compile_tree` /
+        :func:`~repro.algorithms.compile.compile_line`) — deterministic,
+        so "every processor computes it locally" is faithful.
+    epsilon:
+        Stage-schedule ε.
+    delta:
+        The agreed critical-set bound ∆ (global schedule knowledge);
+        defaults to ``inp.delta``.
+    """
+
+    def __init__(self, problem, inp, *, epsilon: float = 0.1,
+                 delta: int | None = None, label: str = "protocol-runtime",
+                 rule: str = "unit", hmin: float = 0.5):
+        from ..algorithms.framework import narrow_xi, stage_count, unit_xi
+
+        self.problem = problem
+        self.inp = inp
+        self.epsilon = epsilon
+        self.label = label
+        self.rule = rule
+        self.delta = delta if delta is not None else inp.delta
+        xi = unit_xi(self.delta) if rule == "unit" else narrow_xi(self.delta, hmin)
+        b = stage_count(xi, epsilon)
+        self.targets = [1.0 - xi**j for j in range(1, b + 1)]
+        self.ell_max = len(inp.groups)
+
+        group_of: dict[int, int] = {}
+        for k, grp in enumerate(inp.groups):
+            for iid in grp:
+                group_of[iid] = k
+
+        per_demand: dict[int, list[_OwnInstance]] = {
+            i: [] for i in range(problem.num_demands)
+        }
+        for d in inp.instances:
+            per_demand[d.demand_id].append(
+                _OwnInstance(
+                    iid=d.instance_id,
+                    demand_id=d.demand_id,
+                    network_id=d.network_id,
+                    profit=d.profit,
+                    height=d.height if rule == "narrow" else 1.0,
+                    path_edges=inp.edges_of[d.instance_id],
+                    critical=tuple(inp.critical[d.instance_id]),
+                    group=group_of[d.instance_id],
+                )
+            )
+        procs = {
+            i: _UnitProcessor(i, per_demand[i], set(problem.access[i]),
+                              narrow=(rule == "narrow"))
+            for i in range(problem.num_demands)
+        }
+        graph: dict[int, set] = {i: set() for i in range(problem.num_demands)}
+        for i in range(problem.num_demands):
+            for j in range(i + 1, problem.num_demands):
+                if problem.access[i] & problem.access[j]:
+                    graph[i].add(j)
+                    graph[j].add(i)
+        self.sim = SyncSimulator(graph, procs)
+        self.procs = procs
+
+    def run(self) -> Solution:
+        """Run both phases; returns the selected instances + sim stats."""
+        step_tuples: list[tuple] = []
+        for k in range(self.ell_max):
+            for j, target in enumerate(self.targets):
+                step = 0
+                while True:
+                    tup = (k, j, step)
+                    armed = sum(
+                        p.arm(k, target, tup) for p in self.procs.values()
+                    )
+                    if armed == 0:
+                        break
+                    self.sim.run_phase(f"phase1[{k},{j},{step}]")
+                    step_tuples.append(tup)
+                    step += 1
+        for tup in reversed(step_tuples):
+            for p in self.procs.values():
+                p.begin_select(tup)
+            self.sim.run_phase(f"phase2{tup}")
+        # One final delivery round so late SELECTED broadcasts settle.
+        self.sim.run_phase("drain")
+
+        by_iid = {d.instance_id: d for d in self.inp.instances}
+        selected = [
+            by_iid[p.selection.iid]
+            for p in self.procs.values()
+            if p.selection is not None
+        ]
+        return Solution(
+            selected=selected,
+            stats={
+                "algorithm": self.label,
+                "epsilon": self.epsilon,
+                "delta": self.delta,
+                "rounds": self.sim.stats.rounds,
+                "messages": self.sim.stats.messages,
+                "steps": len(step_tuples),
+            },
+        )
+
+
+class TreeUnitRuntime(ProtocolRuntime):
+    """Agent-level Theorem 5.3 (unit height, tree networks)."""
+
+    def __init__(self, problem: TreeProblem, *, epsilon: float = 0.1,
+                 delta: int | None = None):
+        from ..algorithms.compile import compile_tree
+
+        super().__init__(
+            problem,
+            compile_tree(problem),
+            epsilon=epsilon,
+            delta=delta,
+            label="tree-unit-runtime(agents)",
+        )
+
+
+class LineUnitRuntime(ProtocolRuntime):
+    """Agent-level Theorem 7.1 (unit height, line networks with windows)."""
+
+    def __init__(self, problem: LineProblem, *, epsilon: float = 0.1,
+                 delta: int | None = None):
+        from ..algorithms.compile import compile_line
+
+        super().__init__(
+            problem,
+            compile_line(problem),
+            epsilon=epsilon,
+            delta=delta,
+            label="line-unit-runtime(agents)",
+        )
+
+
+class TreeNarrowRuntime(ProtocolRuntime):
+    """Agent-level Lemma 6.2 (narrow heights, tree networks).
+
+    Compiles only the narrow population (``h ≤ 1/2``) and runs the
+    Section 6.1 raising rule with capacity-packing in phase 2; output is
+    bit-identical to the engine with ``rule="narrow"``,
+    ``mis="greedy"``, ``capacity_phase2=True``.
+    """
+
+    def __init__(self, problem: TreeProblem, *, epsilon: float = 0.1,
+                 hmin: float | None = None, delta: int | None = None):
+        from ..algorithms.compile import compile_tree
+
+        narrow_heights = [a.height for a in problem.demands if a.narrow]
+        if hmin is None:
+            hmin = min(narrow_heights) if narrow_heights else 0.5
+        super().__init__(
+            problem,
+            compile_tree(problem, instance_filter=lambda d: d.narrow),
+            epsilon=epsilon,
+            delta=delta,
+            label="tree-narrow-runtime(agents)",
+            rule="narrow",
+            hmin=hmin,
+        )

@@ -1,0 +1,144 @@
+"""Synchronous message-passing simulator.
+
+This is the substitution for the paper's physical processor network: the
+standard synchronous model (Section 1) where, per round, every processor
+reads the messages sent to it in the previous round, computes locally
+(polynomial time), and sends messages to its neighbours in the
+communication graph (processors sharing a resource).
+
+The simulator is deliberately strict:
+
+* messages may only be sent to communication-graph neighbours —
+  violating the model raises immediately;
+* all message delivery is batched per round (no same-round reads);
+* rounds and message counts are tallied, because the round complexity is
+  the quantity the paper's theorems bound.
+
+:class:`ProcessorBase` is the agent interface; protocols subclass it and
+the harness drives :meth:`SyncSimulator.run_phase` until quiescence (no
+messages in flight and no processor requesting another round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .messages import Kind, Message
+
+__all__ = ["ProcessorBase", "RoundContext", "SimStats", "SyncSimulator"]
+
+
+@dataclass
+class SimStats:
+    """Round/message ledger of a simulation."""
+
+    rounds: int = 0
+    messages: int = 0
+    per_phase: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, phase: str, rounds: int) -> None:
+        """Attribute ``rounds`` rounds to a named phase."""
+        self.per_phase[phase] = self.per_phase.get(phase, 0) + rounds
+
+
+class RoundContext:
+    """Handed to processors each round; collects their outgoing messages."""
+
+    def __init__(self, sim: "SyncSimulator", pid: int):
+        self._sim = sim
+        self._pid = pid
+        self.outbox: list[Message] = []
+
+    def send(self, recipient: int, kind: Kind, payload: object = None) -> None:
+        """Queue a message for delivery next round (neighbours only)."""
+        if recipient not in self._sim.graph[self._pid]:
+            raise RuntimeError(
+                f"processor {self._pid} may not message {recipient}: they "
+                "share no resource"
+            )
+        self.outbox.append(Message(self._pid, recipient, kind, payload))
+
+    def broadcast(self, kind: Kind, payload: object = None) -> None:
+        """Queue a message to every neighbour."""
+        for nb in self._sim.graph[self._pid]:
+            self.outbox.append(Message(self._pid, nb, kind, payload))
+
+
+class ProcessorBase:
+    """A processor (agent).  Subclass and implement :meth:`on_round`.
+
+    ``wants_round`` signals the processor still has protocol work in the
+    current phase; a phase ends when nobody wants a round and no messages
+    are in flight.
+    """
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.wants_round = True
+
+    def on_round(self, ctx: RoundContext, inbox: list[Message]) -> None:
+        """Handle this round's inbox; queue sends via ``ctx``."""
+        raise NotImplementedError
+
+
+class SyncSimulator:
+    """Drive a set of processors over a fixed communication graph.
+
+    Parameters
+    ----------
+    graph:
+        Adjacency mapping pid → set of neighbour pids (symmetric).
+    processors:
+        Mapping pid → :class:`ProcessorBase`; keys must match ``graph``.
+    """
+
+    def __init__(self, graph: Mapping[int, set], processors: Mapping[int, ProcessorBase]):
+        if set(graph) != set(processors):
+            raise ValueError("graph and processors must have the same pids")
+        for pid, nbrs in graph.items():
+            for nb in nbrs:
+                if pid not in graph[nb]:
+                    raise ValueError(f"asymmetric edge {pid}->{nb}")
+        self.graph = {pid: set(nbrs) for pid, nbrs in graph.items()}
+        self.processors = dict(processors)
+        self.stats = SimStats()
+        self._in_flight: dict[int, list[Message]] = {pid: [] for pid in graph}
+
+    def step_round(self) -> bool:
+        """Run one synchronous round.  Returns whether anything happened."""
+        inboxes = self._in_flight
+        self._in_flight = {pid: [] for pid in self.graph}
+        any_active = False
+        for pid, proc in self.processors.items():
+            inbox = inboxes[pid]
+            if not inbox and not proc.wants_round:
+                continue
+            any_active = True
+            ctx = RoundContext(self, pid)
+            proc.on_round(ctx, inbox)
+            for msg in ctx.outbox:
+                self._in_flight[msg.recipient].append(msg)
+                self.stats.messages += 1
+        if any_active:
+            self.stats.rounds += 1
+        return any_active
+
+    def run_phase(self, name: str, max_rounds: int = 1_000_000) -> int:
+        """Run rounds until quiescence; returns the round count of the phase.
+
+        Quiescence: no processor wants a round and no messages in flight.
+        """
+        start = self.stats.rounds
+        for _ in range(max_rounds):
+            if not self.step_round():
+                break
+        else:  # pragma: no cover - protocol bug guard
+            raise RuntimeError(f"phase {name!r} exceeded {max_rounds} rounds")
+        used = self.stats.rounds - start
+        self.stats.charge(name, used)
+        return used
+
+    def messages_in_flight(self) -> int:
+        """Number of undelivered messages (diagnostic)."""
+        return sum(len(v) for v in self._in_flight.values())

@@ -1,0 +1,188 @@
+"""JSON serialization for problems and solutions.
+
+Lets workloads be pinned to disk (regression corpora, cross-machine
+benchmark runs) and solutions be archived next to the dual certificates
+that justify them.  The format is a stable, versioned, human-readable
+JSON document; round-trips are exact (vertex ids, profits, heights,
+access sets, selected instances).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.demand import Demand, LineDemandInstance, TreeDemandInstance, WindowDemand
+from .core.instance import LineProblem, TreeProblem
+from .core.solution import Solution
+from .network.line import LineNetwork
+from .network.tree import TreeNetwork
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "solution_to_dict",
+    "solution_from_dict",
+    "save_problem",
+    "load_problem",
+    "save_solution",
+    "load_solution",
+]
+
+FORMAT_VERSION = 1
+
+
+def problem_to_dict(problem) -> dict:
+    """Serialize a :class:`TreeProblem` or :class:`LineProblem`."""
+    if isinstance(problem, TreeProblem):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "tree",
+            "n": problem.n,
+            "networks": [sorted(net.edges) for net in problem.networks],
+            "demands": [
+                {"u": a.u, "v": a.v, "profit": a.profit, "height": a.height}
+                for a in problem.demands
+            ],
+            "access": [sorted(acc) for acc in problem.access],
+        }
+    if isinstance(problem, LineProblem):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "line",
+            "n_slots": problem.n_slots,
+            "num_resources": problem.num_networks,
+            "demands": [
+                {
+                    "release": a.release,
+                    "deadline": a.deadline,
+                    "proc_time": a.proc_time,
+                    "profit": a.profit,
+                    "height": a.height,
+                }
+                for a in problem.demands
+            ],
+            "access": [sorted(acc) for acc in problem.access],
+        }
+    raise TypeError(f"cannot serialize {type(problem).__name__}")
+
+
+def problem_from_dict(doc: dict):
+    """Inverse of :func:`problem_to_dict`."""
+    version = doc.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version!r}")
+    kind = doc.get("kind")
+    access = [frozenset(acc) for acc in doc["access"]]
+    if kind == "tree":
+        networks = [
+            TreeNetwork(doc["n"], [tuple(e) for e in edges], network_id=q)
+            for q, edges in enumerate(doc["networks"])
+        ]
+        demands = [
+            Demand(i, d["u"], d["v"], d["profit"], d.get("height", 1.0))
+            for i, d in enumerate(doc["demands"])
+        ]
+        return TreeProblem(n=doc["n"], networks=networks, demands=demands,
+                           access=access)
+    if kind == "line":
+        resources = [
+            LineNetwork(doc["n_slots"], network_id=q)
+            for q in range(doc["num_resources"])
+        ]
+        demands = [
+            WindowDemand(i, d["release"], d["deadline"], d["proc_time"],
+                         d["profit"], d.get("height", 1.0))
+            for i, d in enumerate(doc["demands"])
+        ]
+        return LineProblem(n_slots=doc["n_slots"], resources=resources,
+                           demands=demands, access=access)
+    raise ValueError(f"unknown problem kind {kind!r}")
+
+
+def _instance_to_dict(inst) -> dict:
+    if isinstance(inst, TreeDemandInstance):
+        return {
+            "kind": "tree",
+            "demand_id": inst.demand_id,
+            "network_id": inst.network_id,
+            "u": inst.u,
+            "v": inst.v,
+        }
+    if isinstance(inst, LineDemandInstance):
+        return {
+            "kind": "line",
+            "demand_id": inst.demand_id,
+            "network_id": inst.network_id,
+            "start": inst.start,
+            "end": inst.end,
+        }
+    raise TypeError(f"cannot serialize instance {type(inst).__name__}")
+
+
+def solution_to_dict(solution: Solution) -> dict:
+    """Serialize a solution: selections plus (JSON-safe) stats."""
+    stats: dict[str, Any] = {}
+    for k, v in solution.stats.items():
+        try:
+            json.dumps(v)
+        except TypeError:
+            v = repr(v)
+        stats[k] = v
+    return {
+        "format": FORMAT_VERSION,
+        "profit": solution.profit,
+        "selected": [_instance_to_dict(d) for d in solution.selected],
+        "stats": stats,
+    }
+
+
+def solution_from_dict(doc: dict, problem) -> Solution:
+    """Rehydrate a solution against its problem.
+
+    Selections are re-bound to the problem's own instance objects (so
+    routes come from the problem, never from the file) and re-verified
+    implicitly by any later ``verify_*_solution`` call.
+    """
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {doc.get('format')!r}")
+    lookup: dict[tuple, Any] = {}
+    for inst in problem.instances():
+        if isinstance(inst, TreeDemandInstance):
+            lookup[(inst.demand_id, inst.network_id)] = inst
+        else:
+            lookup[(inst.demand_id, inst.network_id, inst.start, inst.end)] = inst
+    selected = []
+    for rec in doc["selected"]:
+        if rec["kind"] == "tree":
+            key = (rec["demand_id"], rec["network_id"])
+        else:
+            key = (rec["demand_id"], rec["network_id"], rec["start"], rec["end"])
+        if key not in lookup:
+            raise ValueError(f"selection {rec} does not exist in the problem")
+        selected.append(lookup[key])
+    return Solution(selected=selected, stats=dict(doc.get("stats", {})))
+
+
+def save_problem(problem, path: str) -> None:
+    """Write a problem as JSON."""
+    with open(path, "w") as fh:
+        json.dump(problem_to_dict(problem), fh, indent=1)
+
+
+def load_problem(path: str):
+    """Read a problem written by :func:`save_problem`."""
+    with open(path) as fh:
+        return problem_from_dict(json.load(fh))
+
+
+def save_solution(solution: Solution, path: str) -> None:
+    """Write a solution as JSON."""
+    with open(path, "w") as fh:
+        json.dump(solution_to_dict(solution), fh, indent=1)
+
+
+def load_solution(path: str, problem) -> Solution:
+    """Read a solution written by :func:`save_solution`."""
+    with open(path) as fh:
+        return solution_from_dict(json.load(fh), problem)

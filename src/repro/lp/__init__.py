@@ -1,0 +1,5 @@
+"""LP formulation of the throughput maximization problem."""
+
+from .model import PackingLP, build_lp
+
+__all__ = ["PackingLP", "build_lp"]

@@ -1,0 +1,17 @@
+"""Graph substrates: tree-networks and line-networks.
+
+Workload generators live in :mod:`repro.workloads` (they depend on the
+problem model, which depends on these primitives).
+"""
+
+from .line import LineNetwork, interval_to_endpoints, line_as_tree
+from .tree import EdgeKey, TreeNetwork, edge_key
+
+__all__ = [
+    "EdgeKey",
+    "LineNetwork",
+    "TreeNetwork",
+    "edge_key",
+    "interval_to_endpoints",
+    "line_as_tree",
+]

@@ -1,0 +1,94 @@
+"""Line-network substrate (the timeline view of Section 1 and Section 7).
+
+A line-network is a path graph.  The paper reformulates it by viewing each
+edge ``(i, i+1)`` as a *timeslot*: a path on ``n + 1`` vertices becomes a
+timeline of ``n`` timeslots, a demand becomes an interval of timeslots, and
+a graph-network becomes a *resource* offering one unit of bandwidth across
+the whole timeline.
+
+:class:`LineNetwork` implements the interval view directly (timeslots
+``0 .. n_slots - 1``; an interval is an inclusive pair ``(start, end)``),
+which is what the Section 7 algorithms operate on.  :func:`line_as_tree`
+produces the equivalent :class:`~repro.network.tree.TreeNetwork` so the
+tree-network algorithms can be cross-checked against the line algorithms on
+identical workloads (Section 7 notes the timeline "can be viewed as a
+tree-network with n + 1 vertices").
+"""
+
+from __future__ import annotations
+
+from .tree import TreeNetwork
+
+__all__ = ["Interval", "LineNetwork", "line_as_tree", "interval_to_endpoints"]
+
+#: An inclusive range of timeslots ``(start, end)`` with ``start <= end``.
+Interval = tuple[int, int]
+
+
+class LineNetwork:
+    """A resource offering unit bandwidth over ``n_slots`` timeslots.
+
+    Parameters
+    ----------
+    n_slots:
+        Number of timeslots in the timeline (the path graph has
+        ``n_slots + 1`` vertices).
+    network_id:
+        Identifier of this resource within the problem instance.
+    """
+
+    __slots__ = ("n_slots", "network_id")
+
+    def __init__(self, n_slots: int, network_id: int = 0):
+        if n_slots <= 0:
+            raise ValueError("a line-network needs at least one timeslot")
+        self.n_slots = int(n_slots)
+        self.network_id = int(network_id)
+
+    def validate_interval(self, interval: Interval) -> None:
+        """Raise :class:`ValueError` unless ``interval`` fits the timeline."""
+        s, e = interval
+        if not (0 <= s <= e < self.n_slots):
+            raise ValueError(
+                f"interval {interval} outside timeline 0..{self.n_slots - 1}"
+            )
+
+    @staticmethod
+    def overlaps(a: Interval, b: Interval) -> bool:
+        """Whether two inclusive timeslot intervals share a timeslot."""
+        return a[0] <= b[1] and b[0] <= a[1]
+
+    @staticmethod
+    def length(interval: Interval) -> int:
+        """Number of timeslots covered: ``e - s + 1`` (Section 7's len)."""
+        return interval[1] - interval[0] + 1
+
+    @staticmethod
+    def midpoint(interval: Interval) -> int:
+        """``mid(d) = ⌊(s + e)/2⌋`` — the middle timeslot (Section 7)."""
+        return (interval[0] + interval[1]) // 2
+
+    def slots(self, interval: Interval) -> range:
+        """Iterate the timeslots covered by ``interval``."""
+        self.validate_interval(interval)
+        return range(interval[0], interval[1] + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LineNetwork(id={self.network_id}, n_slots={self.n_slots})"
+
+
+def line_as_tree(line: LineNetwork) -> TreeNetwork:
+    """The path-graph :class:`TreeNetwork` equivalent to ``line``.
+
+    Vertex ``i`` and vertex ``i + 1`` bracket timeslot ``i``; an interval
+    ``(s, e)`` corresponds to the demand pair ``(s, e + 1)``.
+    """
+    n = line.n_slots + 1
+    return TreeNetwork(n, [(i, i + 1) for i in range(line.n_slots)],
+                       network_id=line.network_id)
+
+
+def interval_to_endpoints(interval: Interval) -> tuple[int, int]:
+    """Map a timeslot interval to its path-graph demand endpoints."""
+    s, e = interval
+    return (s, e + 1)

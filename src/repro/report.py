@@ -1,0 +1,118 @@
+"""Plain-text reporting: trees, decompositions, schedules, summaries.
+
+Everything the examples and benchmarks print is built from these
+primitives, so output formatting is tested once, here, instead of being
+re-invented per script.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .core.instance import LineProblem
+from .core.solution import Solution
+from .decomposition.base import TreeDecomposition
+from .network.tree import TreeNetwork
+
+__all__ = [
+    "render_tree",
+    "render_decomposition",
+    "render_gantt",
+    "render_solution_summary",
+    "render_comparison",
+]
+
+
+def render_tree(tree: TreeNetwork, root: int = 0) -> str:
+    """ASCII tree rooted at ``root`` (children indented under parents)."""
+    lines: list[str] = []
+    seen = {root}
+
+    def walk2(v: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(str(v))
+            kid_prefix = ""
+        else:
+            lines.append(prefix + ("└─ " if is_last else "├─ ") + str(v))
+            kid_prefix = prefix + ("   " if is_last else "│  ")
+        kids = sorted(u for u in tree.adj[v] if u not in seen)
+        seen.update(kids)
+        for i, u in enumerate(kids):
+            walk2(u, kid_prefix, i == len(kids) - 1, False)
+
+    walk2(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_decomposition(td: TreeDecomposition) -> str:
+    """Level-by-level view of a tree decomposition with pivot sets."""
+    out = [f"{td.name}: depth={td.max_depth}, pivot θ={td.pivot_size}"]
+    for depth, level in enumerate(td.levels(), start=1):
+        entries = ", ".join(
+            f"{v}(χ={{{','.join(map(str, td.chi(v)))}}})" for v in sorted(level)
+        )
+        out.append(f"  depth {depth}: {entries}")
+    return "\n".join(out)
+
+
+def render_gantt(problem: LineProblem, solution: Solution, network_id: int,
+                 width: int | None = None) -> str:
+    """Capacity-lane Gantt chart of one resource's schedule.
+
+    Each selected instance occupies one text lane for its interval; jobs
+    are labelled ``a``–``z`` by demand id (mod 26).
+    """
+    n = problem.n_slots if width is None else min(width, problem.n_slots)
+    lanes: list[list[str]] = []
+    for inst in sorted(solution.selected, key=lambda d: (d.start, d.demand_id)):
+        if inst.network_id != network_id or inst.start >= n:
+            continue
+        tag = chr(ord("a") + inst.demand_id % 26)
+        end = min(inst.end, n - 1)
+        for lane in lanes:
+            if all(lane[t] == "." for t in range(inst.start, end + 1)):
+                break
+        else:
+            lane = ["."] * n
+            lanes.append(lane)
+        for t in range(inst.start, end + 1):
+            lane[t] = tag
+    if not lanes:
+        return "(idle)"
+    return "\n".join("".join(lane) for lane in lanes)
+
+
+def render_solution_summary(solution: Solution) -> str:
+    """One-paragraph summary: profit, size, and the key engine stats."""
+    s = solution.stats
+    lines = [
+        f"algorithm : {s.get('algorithm', '?')}",
+        f"profit    : {solution.profit:.4g}",
+        f"selected  : {solution.size} demand instances",
+    ]
+    if "total_rounds" in s:
+        lines.append(f"rounds    : {s['total_rounds']}")
+    if "realized_lambda" in s:
+        lines.append(f"λ         : {s['realized_lambda']:.4f}")
+    if "opt_upper_bound" in s:
+        lines.append(f"OPT ≤     : {s['opt_upper_bound']:.4g} (dual certificate)")
+    if "approx_guarantee" in s:
+        lines.append(f"guarantee : ≤ {s['approx_guarantee']:.3g}× off optimal")
+    return "\n".join(lines)
+
+
+def render_comparison(entries: Sequence[tuple[str, Solution]],
+                      opt: float | None = None) -> str:
+    """Side-by-side profit table for several solutions of one problem."""
+    name_w = max(len(name) for name, _ in entries) + 2
+    lines = [f"{'method':<{name_w}}{'profit':>10}{'size':>7}"
+             + ("" if opt is None else f"{'OPT/ALG':>10}")]
+    lines.append("-" * len(lines[0]))
+    for name, sol in entries:
+        row = f"{name:<{name_w}}{sol.profit:>10.2f}{sol.size:>7}"
+        if opt is not None:
+            row += f"{opt / max(sol.profit, 1e-12):>10.3f}"
+        lines.append(row)
+    if opt is not None:
+        lines.append(f"{'exact OPT':<{name_w}}{opt:>10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Seeded workload generators for benchmarks, examples and tests."""
+
+from .generators import (
+    TREE_TOPOLOGIES,
+    make_tree,
+    random_line_problem,
+    random_tree_problem,
+)
+
+__all__ = [
+    "TREE_TOPOLOGIES",
+    "make_tree",
+    "random_line_problem",
+    "random_tree_problem",
+]

@@ -1,0 +1,111 @@
+"""Structured adversarial instances.
+
+Random workloads rarely stress approximation algorithms; these
+constructions target the specific mechanisms of the paper's analysis:
+
+* :func:`profit_ladder` — geometric profit chains of mutually
+  conflicting demands: the tight case of the kill-chain bound
+  (Claim 5.2 / Lemma 5.1) and the E14 benchmark's workload;
+* :func:`long_vs_short` — one long high-profit demand against many short
+  ones covering the same route: where greedy-by-profit loses a factor of
+  ~k and the primal-dual second phase must recover it;
+* :func:`star_crossing` — demands pairwise crossing at a hub vertex but
+  edge-disjoint: a large independent set that a naive "conflict = shares
+  a vertex" implementation would refuse (regression guard for the
+  edge-disjoint semantics);
+* :func:`sibling_stress` — every demand accesses all networks, on
+  identical trees: maximal α-coupling between instances of a demand;
+* :func:`caterpillar_killer` — the topology family where the balancing
+  decomposition's pivot exceeds 2 (motivates the ideal decomposition).
+"""
+
+from __future__ import annotations
+
+from ..core.demand import Demand
+from ..core.instance import TreeProblem
+from ..network.tree import TreeNetwork
+from .generators import make_tree
+
+__all__ = [
+    "profit_ladder",
+    "long_vs_short",
+    "star_crossing",
+    "sibling_stress",
+    "caterpillar_killer",
+]
+
+
+def profit_ladder(depth: int, base: float = 16.0) -> TreeProblem:
+    """All demands span the single edge of a 2-vertex tree; profits
+    ``base**i``.  Every pair conflicts; a steep ladder forces a stage to
+    walk the entire chain one raise at a time (Lemma 5.1's tight case).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    net = TreeNetwork(2, [(0, 1)], network_id=0)
+    demands = [Demand(i, 0, 1, profit=float(base**i)) for i in range(depth)]
+    return TreeProblem(n=2, networks=[net], demands=demands)
+
+
+def long_vs_short(k: int, long_profit: float | None = None) -> TreeProblem:
+    """A path of ``k`` edges: one demand spans it all, ``k`` unit demands
+    each cover one edge.
+
+    With ``long_profit`` slightly above 1 the optimum takes the ``k``
+    short demands (profit ``k``) while profit-greedy grabs the long one
+    (profit ``~1``): the classic Ω(k) greedy gap.  Default long profit is
+    ``1.5``.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    net = TreeNetwork(k + 1, [(i, i + 1) for i in range(k)], network_id=0)
+    demands = [Demand(0, 0, k, profit=float(long_profit or 1.5))]
+    demands += [Demand(i + 1, i, i + 1, profit=1.0) for i in range(k)]
+    return TreeProblem(n=k + 1, networks=[net], demands=demands)
+
+
+def star_crossing(legs: int) -> TreeProblem:
+    """A star with ``2·legs`` leaves; demand ``i`` connects leaves
+    ``2i+1`` and ``2i+2`` through the hub.
+
+    All routes meet at the hub *vertex* but are pairwise edge-disjoint —
+    the whole set is simultaneously schedulable.  Guards the
+    edge-disjoint (not vertex-disjoint) semantics of Section 2.
+    """
+    if legs < 1:
+        raise ValueError("legs must be >= 1")
+    n = 2 * legs + 1
+    net = make_tree(n, "star", network_id=0)
+    demands = [
+        Demand(i, 2 * i + 1, 2 * i + 2, profit=1.0) for i in range(legs)
+    ]
+    return TreeProblem(n=n, networks=[net], demands=demands)
+
+
+def sibling_stress(m: int, r: int, n: int = 16, seed: int = 0) -> TreeProblem:
+    """``m`` demands, each with instances on all ``r`` identical trees.
+
+    Instances of one demand conflict only through their shared α
+    variable; the solution may use each demand once even though ``r``
+    copies were raised — stresses the one-instance-per-demand constraint
+    end to end.
+    """
+    base = make_tree(n, "random", seed=seed)
+    networks = [
+        TreeNetwork(n, list(base.edges), network_id=q) for q in range(r)
+    ]
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    demands = []
+    for i in range(m):
+        u, v = rng.choice(n, size=2, replace=False)
+        demands.append(Demand(i, int(u), int(v),
+                              profit=float(rng.uniform(1, 4))))
+    return TreeProblem(n=n, networks=networks, demands=demands)
+
+
+def caterpillar_killer(n: int, seed: int = 1) -> TreeNetwork:
+    """A caterpillar on ``n`` vertices — the family where the balancing
+    decomposition's pivot size exceeds 2 while the ideal stays at 2."""
+    return make_tree(n, "caterpillar", seed=seed)

@@ -1,0 +1,288 @@
+"""Workload generators for trees, lines, demands and windows.
+
+The paper has no benchmark suite of its own, so every experiment needs
+synthetic workloads.  The generators here are all seeded
+(:class:`numpy.random.Generator`) and cover the topology extremes the
+decomposition lemmas care about:
+
+* ``path``       — worst case for the root-fixing decomposition (depth n);
+* ``star``       — trivial depth, stresses high-degree splitting;
+* ``caterpillar``— long spine with legs, a classic adversary for balancers;
+* ``binary``     — complete binary tree, the friendly case;
+* ``random``     — uniform random labelled tree via Prüfer sequences;
+* ``broom``/``spider`` — asymmetric hybrids.
+
+Demand generators control the knobs the theorems mention: profit spread
+``pmax/pmin``, height regime (unit / narrow / wide / mixed), demand
+locality (path length distribution), and window tightness for Section 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.demand import Demand, WindowDemand
+from ..core.instance import LineProblem, TreeProblem
+from ..network.line import LineNetwork
+from ..network.tree import TreeNetwork
+
+__all__ = [
+    "make_tree",
+    "random_tree_problem",
+    "random_line_problem",
+    "TREE_TOPOLOGIES",
+]
+
+TREE_TOPOLOGIES = ("path", "star", "caterpillar", "binary", "random", "broom", "spider")
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def make_tree(
+    n: int, topology: str = "random", *, seed=None, network_id: int = 0
+) -> TreeNetwork:
+    """Build an ``n``-vertex tree of the requested topology.
+
+    ``topology`` is one of :data:`TREE_TOPOLOGIES`.  Vertex labels are
+    randomly permuted for the randomised topologies so vertex ids carry no
+    structural hints.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+    edges: list[tuple[int, int]]
+    if topology == "path":
+        edges = [(i, i + 1) for i in range(n - 1)]
+    elif topology == "star":
+        edges = [(0, i) for i in range(1, n)]
+    elif topology == "caterpillar":
+        # Half the vertices form the spine; legs attach round-robin.
+        spine = max(1, n // 2)
+        edges = [(i, i + 1) for i in range(spine - 1)]
+        for leg in range(spine, n):
+            edges.append((int(rng.integers(0, spine)), leg))
+    elif topology == "binary":
+        edges = [((i - 1) // 2, i) for i in range(1, n)]
+    elif topology == "random":
+        edges = _random_tree_edges(n, rng)
+    elif topology == "broom":
+        # A path of length n/2 ending in a star of the remaining vertices.
+        handle = max(1, n // 2)
+        edges = [(i, i + 1) for i in range(handle - 1)]
+        edges.extend((handle - 1, i) for i in range(handle, n))
+    elif topology == "spider":
+        # Three long legs meeting at vertex 0.
+        edges = []
+        legs = 3
+        prev = [0] * legs
+        for i in range(1, n):
+            leg = (i - 1) % legs
+            edges.append((prev[leg], i))
+            prev[leg] = i
+    else:
+        raise ValueError(f"unknown topology {topology!r}; want one of {TREE_TOPOLOGIES}")
+    return TreeNetwork(n, edges, network_id=network_id)
+
+
+def _random_tree_edges(n: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Uniform random labelled tree from a random Prüfer sequence."""
+    if n == 1:
+        return []
+    if n == 2:
+        return [(0, 1)]
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    edges: list[tuple[int, int]] = []
+    # Classic O(n log n) decode with a heap of current leaves.
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return edges
+
+
+def _sample_heights(
+    m: int, regime: str, rng: np.random.Generator, hmin: float
+) -> np.ndarray:
+    """Sample demand heights for the requested regime (Section 6 splits)."""
+    if regime == "unit":
+        return np.ones(m)
+    if regime == "narrow":
+        return rng.uniform(hmin, 0.5, size=m)
+    if regime == "wide":
+        return rng.uniform(max(hmin, 0.5 + 1e-9), 1.0, size=m)
+    if regime == "mixed":
+        h = rng.uniform(hmin, 1.0, size=m)
+        return h
+    if regime == "bimodal":
+        small = rng.uniform(hmin, 0.2, size=m)
+        big = rng.uniform(0.8, 1.0, size=m)
+        pick = rng.random(m) < 0.5
+        return np.where(pick, small, big)
+    raise ValueError(f"unknown height regime {regime!r}")
+
+
+def random_tree_problem(
+    n: int,
+    m: int,
+    r: int = 1,
+    *,
+    topology: str = "random",
+    seed=None,
+    profit_ratio: float = 10.0,
+    height_regime: str = "unit",
+    hmin: float = 0.05,
+    access_prob: float = 1.0,
+    locality: float | None = None,
+) -> TreeProblem:
+    """A random tree-network scheduling instance.
+
+    Parameters
+    ----------
+    n, m, r:
+        Vertices, demands and tree-networks.
+    topology:
+        Topology for every network (each network is drawn independently
+        for the randomised topologies, so the ``r`` trees differ).
+    profit_ratio:
+        Target ``pmax/pmin``; profits are log-uniform in
+        ``[1, profit_ratio]``.
+    height_regime:
+        ``unit`` / ``narrow`` / ``wide`` / ``mixed`` / ``bimodal``.
+    hmin:
+        Minimum height for the non-unit regimes.
+    access_prob:
+        Each (processor, network) pair is accessible independently with
+        this probability; every processor keeps at least one network.
+    locality:
+        If given, demand endpoints are biased to be near each other:
+        the second endpoint is sampled from a ball of radius
+        ``max(1, locality * n)`` hops in network 0.
+    """
+    rng = _rng(seed)
+    networks = [
+        make_tree(n, topology, seed=rng, network_id=q) for q in range(r)
+    ]
+    heights = _sample_heights(m, height_regime, rng, hmin)
+    profits = np.exp(rng.uniform(0.0, np.log(max(profit_ratio, 1.0 + 1e-9)), size=m))
+    demands: list[Demand] = []
+    for i in range(m):
+        u = int(rng.integers(0, n))
+        if locality is not None:
+            radius = max(1, int(locality * n))
+            ball = _ball(networks[0], u, radius)
+            ball.discard(u)
+            v = int(rng.choice(sorted(ball))) if ball else (u + 1) % n
+        else:
+            v = int(rng.integers(0, n))
+            while v == u:
+                v = int(rng.integers(0, n))
+        demands.append(
+            Demand(
+                demand_id=i,
+                u=u,
+                v=v,
+                profit=float(profits[i]),
+                height=float(heights[i]),
+            )
+        )
+    access = _random_access(m, r, access_prob, rng)
+    return TreeProblem(n=n, networks=networks, demands=demands, access=access)
+
+
+def _ball(net: TreeNetwork, center: int, radius: int) -> set[int]:
+    """Vertices within ``radius`` hops of ``center`` in ``net``."""
+    from collections import deque
+
+    seen = {center}
+    q = deque([(center, 0)])
+    while q:
+        x, d = q.popleft()
+        if d == radius:
+            continue
+        for y in net.adj[x]:
+            if y not in seen:
+                seen.add(y)
+                q.append((y, d + 1))
+    return seen
+
+
+def _random_access(
+    m: int, r: int, access_prob: float, rng: np.random.Generator
+) -> list[frozenset[int]]:
+    access: list[frozenset[int]] = []
+    for _ in range(m):
+        acc = {q for q in range(r) if rng.random() < access_prob}
+        if not acc:
+            acc = {int(rng.integers(0, r))}
+        access.append(frozenset(acc))
+    return access
+
+
+def random_line_problem(
+    n_slots: int,
+    m: int,
+    r: int = 1,
+    *,
+    seed=None,
+    profit_ratio: float = 10.0,
+    height_regime: str = "unit",
+    hmin: float = 0.05,
+    access_prob: float = 1.0,
+    min_len: int = 1,
+    max_len: int | None = None,
+    window_slack: float = 0.5,
+) -> LineProblem:
+    """A random line-network (windows) scheduling instance (Section 7).
+
+    Parameters
+    ----------
+    n_slots, m, r:
+        Timeline length, demands and resources.
+    min_len, max_len:
+        Processing-time range (``max_len`` defaults to ``n_slots // 4``,
+        at least ``min_len``).
+    window_slack:
+        Expected extra window length as a fraction of the processing
+        time; 0 pins every job (window == processing interval).
+    """
+    rng = _rng(seed)
+    if max_len is None:
+        max_len = max(min_len, n_slots // 4)
+    max_len = min(max_len, n_slots)
+    resources = [LineNetwork(n_slots, network_id=q) for q in range(r)]
+    heights = _sample_heights(m, height_regime, rng, hmin)
+    profits = np.exp(rng.uniform(0.0, np.log(max(profit_ratio, 1.0 + 1e-9)), size=m))
+    demands: list[WindowDemand] = []
+    for i in range(m):
+        rho = int(rng.integers(min_len, max_len + 1))
+        slack = int(rng.integers(0, int(window_slack * rho) + 1))
+        wlen = min(n_slots, rho + slack)
+        release = int(rng.integers(0, n_slots - wlen + 1))
+        demands.append(
+            WindowDemand(
+                demand_id=i,
+                release=release,
+                deadline=release + wlen - 1,
+                proc_time=rho,
+                profit=float(profits[i]),
+                height=float(heights[i]),
+            )
+        )
+    access = _random_access(m, r, access_prob, rng)
+    return LineProblem(n_slots=n_slots, resources=resources, demands=demands, access=access)

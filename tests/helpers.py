@@ -1,0 +1,10 @@
+"""Assertion helpers shared across test modules."""
+
+from __future__ import annotations
+
+
+def assert_bound(profit: float, opt: float, bound: float, label: str = "") -> None:
+    """Assert the approximation guarantee ``profit ≥ opt / bound``."""
+    assert profit >= opt / bound - 1e-9, (
+        f"{label}: profit {profit} < OPT {opt} / bound {bound}"
+    )

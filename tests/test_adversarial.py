@@ -1,0 +1,115 @@
+"""Tests for the adversarial workload constructions and the behaviours
+they are designed to provoke."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    balancing_decomposition,
+    ideal_decomposition,
+    solve_greedy,
+    solve_optimal,
+    solve_sequential_tree,
+    solve_tree_unit,
+)
+from repro.workloads.adversarial import (
+    caterpillar_killer,
+    long_vs_short,
+    profit_ladder,
+    sibling_stress,
+    star_crossing,
+)
+
+
+class TestProfitLadder:
+    def test_all_conflict(self):
+        p = profit_ladder(6)
+        insts = p.instances()
+        shared = set(insts[0].path_edges)
+        for d in insts[1:]:
+            assert set(d.path_edges) == shared
+
+    def test_stage_walks_the_chain(self):
+        p = profit_ladder(12, base=16.0)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=0, mis="greedy")
+        pmin, pmax = p.profit_range()
+        bound = 1 + math.log2(pmax / pmin)
+        assert sol.stats["max_steps_in_a_stage"] <= bound
+        assert sol.stats["max_steps_in_a_stage"] >= 11
+
+    def test_opt_takes_the_top_rung(self):
+        p = profit_ladder(5, base=4.0)
+        opt = solve_optimal(p)
+        assert opt.size == 1
+        assert opt.profit == pytest.approx(4.0**4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            profit_ladder(0)
+
+
+class TestLongVsShort:
+    def test_greedy_profit_gap(self):
+        p = long_vs_short(10)
+        greedy = solve_greedy(p, order="profit")
+        opt = solve_optimal(p)
+        # Profit-greedy grabs the long demand (1.5); OPT takes the 10
+        # short ones.
+        assert greedy.profit == pytest.approx(1.5)
+        assert opt.profit == pytest.approx(10.0)
+
+    def test_primal_dual_recovers(self):
+        p = long_vs_short(10)
+        sol = solve_tree_unit(p, epsilon=0.1, seed=0)
+        # Within its guarantee — and far better than profit-greedy here.
+        assert sol.profit >= 10.0 / (7 / 0.9)
+        assert sol.profit > 1.5
+
+    def test_sequential_recovers_fully(self):
+        p = long_vs_short(10)
+        sol = solve_sequential_tree(p)
+        assert sol.profit >= 10.0 / 2  # 2-approx, single tree
+
+
+class TestStarCrossing:
+    def test_everything_schedulable(self):
+        p = star_crossing(8)
+        opt = solve_optimal(p)
+        assert opt.size == 8
+        sol = solve_tree_unit(p, epsilon=0.2, seed=0)
+        # Edge-disjoint at the hub: no demand blocks another.
+        assert sol.size == 8
+
+    def test_no_conflicts(self):
+        from repro import ConflictIndex
+
+        p = star_crossing(5)
+        insts = p.instances()
+        ci = ConflictIndex(insts, [p.global_edges_of(d) for d in insts])
+        for a in range(5):
+            for b in range(a + 1, 5):
+                assert not ci.conflicting(a, b)
+
+
+class TestSiblingStress:
+    def test_one_instance_per_demand(self):
+        p = sibling_stress(m=10, r=4, seed=1)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=1)
+        ids = [d.demand_id for d in sol.selected]
+        assert len(ids) == len(set(ids))
+
+    def test_within_bound(self):
+        p = sibling_stress(m=8, r=3, seed=2)
+        sol = solve_tree_unit(p, epsilon=0.1, seed=2)
+        opt = solve_optimal(p)
+        assert sol.profit >= opt.profit / (7 / 0.9) - 1e-9
+
+
+class TestCaterpillarKiller:
+    def test_balancing_pivot_exceeds_ideal(self):
+        t = caterpillar_killer(31, seed=1)
+        assert balancing_decomposition(t).pivot_size > 2
+        assert ideal_decomposition(t).pivot_size <= 2

@@ -1,0 +1,141 @@
+"""End-to-end tests of the Section 7 line-network solvers and the
+Panconesi–Sozio baseline, against exact optima."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    lp_upper_bound,
+    random_line_problem,
+    solve_line_arbitrary,
+    solve_line_narrow,
+    solve_line_unit,
+    solve_optimal,
+    solve_ps_line_arbitrary,
+    solve_ps_line_unit,
+    verify_line_solution,
+)
+
+from tests.helpers import assert_bound
+
+
+class TestLineUnit:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem71_bound(self, seed):
+        """(4+ε): profit ≥ OPT/(4+ε) with windows."""
+        p = random_line_problem(n_slots=30, m=12, r=2, seed=seed, max_len=8)
+        eps = 0.1
+        sol = solve_line_unit(p, epsilon=eps, seed=seed)
+        verify_line_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 4 / (1 - eps), f"seed {seed}")
+
+    def test_bound_vs_lp(self):
+        p = random_line_problem(n_slots=60, m=30, r=2, seed=9, max_len=12)
+        sol = solve_line_unit(p, epsilon=0.1, seed=1)
+        assert_bound(sol.profit, lp_upper_bound(p), 4 / 0.9)
+
+    def test_windows_respected(self):
+        p = random_line_problem(n_slots=40, m=20, r=1, seed=10,
+                                window_slack=2.0, max_len=6)
+        sol = solve_line_unit(p, epsilon=0.2, seed=2)
+        verify_line_solution(p, sol, unit_height=True)
+        for inst in sol.selected:
+            a = p.demands[inst.demand_id]
+            assert a.release <= inst.start and inst.end <= a.deadline
+
+    def test_pinned_windows(self):
+        # window_slack=0 pins every job to a single placement.
+        p = random_line_problem(n_slots=30, m=15, r=1, seed=11, window_slack=0.0)
+        assert all(len(a.placements()) == 1 for a in p.demands)
+        sol = solve_line_unit(p, epsilon=0.2, seed=3)
+        verify_line_solution(p, sol, unit_height=True)
+
+    def test_delta_is_three(self):
+        p = random_line_problem(n_slots=40, m=15, r=1, seed=12, max_len=10)
+        sol = solve_line_unit(p, epsilon=0.2, seed=4)
+        assert sol.stats["delta"] == 3
+
+    def test_empty_filter(self):
+        p = random_line_problem(n_slots=20, m=6, r=1, seed=13)
+        sol = solve_line_unit(p, instance_filter=lambda d: False)
+        assert sol.size == 0 and sol.stats.get("empty")
+
+
+class TestLineArbitrary:
+    @pytest.mark.parametrize("regime", ["mixed", "narrow", "wide", "bimodal"])
+    def test_theorem72_bound(self, regime):
+        p = random_line_problem(n_slots=30, m=12, r=2, seed=20,
+                                height_regime=regime, hmin=0.1, max_len=8)
+        eps = 0.1
+        sol = solve_line_arbitrary(p, epsilon=eps, seed=1)
+        verify_line_solution(p, sol, unit_height=False)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 23 / (1 - eps), regime)
+
+    def test_narrow_only_bound(self):
+        p = random_line_problem(n_slots=30, m=12, r=1, seed=21,
+                                height_regime="narrow", hmin=0.15, max_len=8)
+        eps = 0.15
+        sol = solve_line_narrow(p, epsilon=eps, seed=2)
+        verify_line_solution(p, sol, unit_height=False)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 19 / (1 - eps))
+
+    def test_capacity_packing_not_disjoint(self):
+        """Narrow instances share timeslots up to capacity 1 — the
+        second phase must pack by height, not edge-disjointly."""
+        p = random_line_problem(n_slots=10, m=20, r=1, seed=22,
+                                height_regime="narrow", hmin=0.1,
+                                min_len=4, max_len=8)
+        sol = solve_line_narrow(p, epsilon=0.2, seed=3)
+        verify_line_solution(p, sol, unit_height=False)
+        load: dict[int, float] = {}
+        shared = False
+        for inst in sol.selected:
+            for t in range(inst.start, inst.end + 1):
+                load[t] = load.get(t, 0.0) + inst.height
+                if load[t] > inst.height:
+                    shared = True
+        assert shared or sol.size <= 1
+
+
+class TestPanconesiSozio:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ps_unit_bound(self, seed):
+        """(20+ε): the PS baseline honours its own (weaker) guarantee."""
+        p = random_line_problem(n_slots=30, m=12, r=2, seed=seed, max_len=8)
+        eps = 0.1
+        sol = solve_ps_line_unit(p, epsilon=eps, seed=seed)
+        verify_line_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 4 * (5 + eps), f"seed {seed}")
+
+    def test_ps_lambda_is_one_fifth(self):
+        p = random_line_problem(n_slots=30, m=15, r=1, seed=30, max_len=8)
+        eps = 0.1
+        sol = solve_ps_line_unit(p, epsilon=eps, seed=1)
+        assert sol.stats["realized_lambda"] >= 1 / (5 + eps) - 1e-9
+
+    def test_ps_single_stage(self):
+        p = random_line_problem(n_slots=30, m=15, r=1, seed=31, max_len=8)
+        sol = solve_ps_line_unit(p, epsilon=0.1, seed=2)
+        # One stage per (non-empty) epoch.
+        assert sol.stats["stages"] <= sol.stats["epochs"]
+
+    def test_ps_arbitrary_feasible(self):
+        p = random_line_problem(n_slots=30, m=12, r=2, seed=32,
+                                height_regime="mixed", hmin=0.1, max_len=8)
+        sol = solve_ps_line_arbitrary(p, epsilon=0.1, seed=3)
+        verify_line_solution(p, sol, unit_height=False)
+
+    def test_ours_uses_fewer_dual_raises_is_not_required_but_profit_bounded(self):
+        """Head-to-head sanity: both are within their bounds on shared
+        workloads (the systematic comparison is benchmark E10)."""
+        p = random_line_problem(n_slots=40, m=20, r=2, seed=33, max_len=10)
+        ours = solve_line_unit(p, epsilon=0.1, seed=4)
+        ps = solve_ps_line_unit(p, epsilon=0.1, seed=4)
+        opt = solve_optimal(p)
+        assert_bound(ours.profit, opt.profit, 4 / 0.9, "ours")
+        assert_bound(ps.profit, opt.profit, 20.4, "ps")

@@ -1,0 +1,152 @@
+"""End-to-end tests of the tree-network solvers against exact optima.
+
+Every theorem bound is asserted against the MILP optimum (or the LP
+relaxation upper bound, which is stricter on the algorithm).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    balancing_decomposition,
+    lp_upper_bound,
+    random_tree_problem,
+    root_fixing_decomposition,
+    solve_optimal,
+    solve_sequential_tree,
+    solve_tree_arbitrary,
+    solve_tree_narrow,
+    solve_tree_unit,
+    verify_tree_solution,
+)
+
+from tests.helpers import assert_bound
+
+
+class TestTreeUnit:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem53_bound(self, seed):
+        """(7+ε): profit ≥ OPT/(7+ε) on random multi-tree instances."""
+        p = random_tree_problem(n=18, m=12, r=2, seed=seed)
+        eps = 0.1
+        sol = solve_tree_unit(p, epsilon=eps, seed=seed)
+        verify_tree_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 7 / (1 - eps), f"seed {seed}")
+
+    def test_bound_vs_lp(self):
+        p = random_tree_problem(n=30, m=25, r=3, seed=42)
+        sol = solve_tree_unit(p, epsilon=0.1, seed=1)
+        lp = lp_upper_bound(p)
+        assert_bound(sol.profit, lp, 7 / 0.9, "vs LP")
+
+    def test_stats_contract(self):
+        p = random_tree_problem(n=16, m=10, r=1, seed=3)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=2)
+        for key in ("delta", "total_rounds", "realized_lambda",
+                    "opt_upper_bound", "approx_guarantee", "steps"):
+            assert key in sol.stats
+        assert sol.stats["delta"] <= 6
+        assert sol.stats["realized_lambda"] >= 0.8 - 1e-9
+
+    @pytest.mark.parametrize(
+        "decomposition", [root_fixing_decomposition, balancing_decomposition]
+    )
+    def test_decomposition_ablation_still_feasible(self, decomposition):
+        p = random_tree_problem(n=20, m=14, r=2, seed=5)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=3, decomposition=decomposition)
+        verify_tree_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        # Lemma 3.1 with the ablated decomposition's own ∆.
+        delta = sol.stats["delta"]
+        assert_bound(sol.profit, opt.profit, (delta + 1) / 0.8)
+
+    def test_restricted_access(self):
+        p = random_tree_problem(n=16, m=12, r=3, seed=7, access_prob=0.5)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=4)
+        verify_tree_solution(p, sol, unit_height=True)
+
+    def test_single_demand(self):
+        p = random_tree_problem(n=8, m=1, r=1, seed=8)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=5)
+        assert sol.size == 1  # nothing blocks the only demand
+
+    def test_deterministic_with_greedy_mis(self):
+        p = random_tree_problem(n=16, m=12, r=2, seed=9)
+        a = solve_tree_unit(p, epsilon=0.2, mis="greedy")
+        b = solve_tree_unit(p, epsilon=0.2, mis="greedy")
+        assert [d.instance_id for d in a.selected] == [
+            d.instance_id for d in b.selected
+        ]
+
+
+class TestTreeArbitrary:
+    @pytest.mark.parametrize("regime", ["mixed", "narrow", "wide", "bimodal"])
+    def test_theorem63_bound(self, regime):
+        p = random_tree_problem(n=16, m=12, r=2, seed=11,
+                                height_regime=regime, hmin=0.1)
+        eps = 0.1
+        sol = solve_tree_arbitrary(p, epsilon=eps, seed=1)
+        verify_tree_solution(p, sol, unit_height=False)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 80 / (1 - eps), regime)
+
+    def test_narrow_only_lemma62(self):
+        p = random_tree_problem(n=16, m=12, r=1, seed=13,
+                                height_regime="narrow", hmin=0.15)
+        eps = 0.15
+        sol = solve_tree_narrow(p, epsilon=eps, seed=2)
+        verify_tree_solution(p, sol, unit_height=False)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 73 / (1 - eps))
+
+    def test_narrow_solver_ignores_wide(self):
+        p = random_tree_problem(n=14, m=10, r=1, seed=14, height_regime="wide")
+        sol = solve_tree_narrow(p, epsilon=0.2)
+        assert sol.size == 0
+
+    def test_wide_only_uses_unit_path(self):
+        p = random_tree_problem(n=14, m=10, r=2, seed=15, height_regime="wide")
+        sol = solve_tree_arbitrary(p, epsilon=0.2, seed=3)
+        verify_tree_solution(p, sol, unit_height=False)
+        opt = solve_optimal(p)
+        # Wide-only: effectively the (7+ε) algorithm.
+        assert_bound(sol.profit, opt.profit, 7 / 0.8)
+
+    def test_combiner_keeps_one_instance_per_demand(self):
+        p = random_tree_problem(n=18, m=14, r=3, seed=16, height_regime="bimodal")
+        sol = solve_tree_arbitrary(p, epsilon=0.2, seed=4)
+        ids = [d.demand_id for d in sol.selected]
+        assert len(ids) == len(set(ids))
+
+
+class TestSequential:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_three_approx_multi_tree(self, seed):
+        p = random_tree_problem(n=16, m=12, r=3, seed=seed)
+        sol = solve_sequential_tree(p)
+        verify_tree_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 3.0, f"seed {seed}")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_approx_single_tree(self, seed):
+        p = random_tree_problem(n=16, m=12, r=1, seed=seed + 20)
+        sol = solve_sequential_tree(p)
+        assert sol.stats["raise_alpha"] is False
+        verify_tree_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 2.0, f"seed {seed}")
+
+    def test_lambda_is_one(self):
+        p = random_tree_problem(n=14, m=10, r=2, seed=30)
+        sol = solve_sequential_tree(p)
+        assert sol.stats["realized_lambda"] >= 1.0 - 1e-9
+
+    def test_round_cost_linear(self):
+        """The sequential algorithm's steps grow with the raised-instance
+        count (why Section 5 parallelises it)."""
+        p = random_tree_problem(n=30, m=40, r=1, seed=31)
+        sol = solve_sequential_tree(p)
+        assert sol.stats["steps"] >= sol.size

@@ -1,0 +1,109 @@
+"""Tests for the capacitated scenario (uniform-capacity reduction and
+per-edge-capacity exact solvers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import random_line_problem, random_tree_problem, solve_optimal
+from repro.capacitated import (
+    lp_upper_bound_capacitated,
+    normalize_uniform_capacity,
+    solve_line_capacitated,
+    solve_optimal_capacitated,
+    solve_tree_capacitated,
+)
+from repro.core.solution import verify_line_solution
+
+
+class TestNormalization:
+    def test_heights_scaled(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=0, height_regime="mixed")
+        q = normalize_uniform_capacity(p, 2.0)
+        for a, b in zip(p.demands, q.demands):
+            assert b.height == pytest.approx(a.height / 2.0)
+
+    def test_unit_problem_capacity2_all_narrow(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=1)  # unit heights
+        q = normalize_uniform_capacity(p, 2.0)
+        assert all(a.narrow for a in q.demands)
+
+    def test_rejects_oversized_demand(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=2)  # heights 1.0
+        with pytest.raises(ValueError, match="exceeds"):
+            normalize_uniform_capacity(p, 0.5)
+
+    def test_rejects_bad_capacity(self):
+        p = random_tree_problem(n=12, m=4, r=1, seed=3)
+        with pytest.raises(ValueError, match="positive"):
+            normalize_uniform_capacity(p, 0.0)
+
+
+class TestCapacitatedSolvers:
+    def test_capacity_two_doubles_packing(self):
+        """Unit demands on capacity-2 edges: exactly two may share an
+        edge — the capacitated optimum dominates the unit one."""
+        p = random_tree_problem(n=14, m=12, r=1, seed=4)
+        unit_opt = solve_optimal(p)
+        cap_opt = solve_optimal_capacitated(p, 2.0)
+        assert cap_opt.profit >= unit_opt.profit - 1e-9
+
+    def test_reduction_matches_direct_milp(self):
+        """OPT of the normalized unit-capacity instance equals the
+        capacitated MILP's optimum — the reduction is lossless."""
+        for seed in range(3):
+            p = random_tree_problem(n=12, m=8, r=1, seed=seed,
+                                    height_regime="mixed")
+            norm = normalize_uniform_capacity(p, 2.0)
+            direct = solve_optimal_capacitated(p, 2.0)
+            reduced = solve_optimal(norm)
+            assert direct.profit == pytest.approx(reduced.profit, rel=1e-6)
+
+    def test_tree_capacitated_within_bound(self):
+        p = random_tree_problem(n=16, m=12, r=2, seed=5, height_regime="mixed")
+        sol = solve_tree_capacitated(p, 2.0, epsilon=0.1, seed=5)
+        opt = solve_optimal_capacitated(p, 2.0)
+        assert sol.profit >= opt.profit / (80 / 0.9) - 1e-9
+        # Lifted selections keep original heights and satisfy capacity 2.
+        load: dict = {}
+        for inst in sol.selected:
+            for ge in p.global_edges_of(inst):
+                load[ge] = load.get(ge, 0.0) + inst.height
+        assert all(v <= 2.0 + 1e-9 for v in load.values())
+
+    def test_line_capacitated_feasible(self):
+        p = random_line_problem(n_slots=24, m=12, r=1, seed=6,
+                                height_regime="mixed", hmin=0.1, max_len=6)
+        sol = solve_line_capacitated(p, 2.0, epsilon=0.2, seed=6)
+        load: dict = {}
+        for inst in sol.selected:
+            for t in range(inst.start, inst.end + 1):
+                key = (inst.network_id, t)
+                load[key] = load.get(key, 0.0) + inst.height
+        assert all(v <= 2.0 + 1e-9 for v in load.values())
+        ids = [d.demand_id for d in sol.selected]
+        assert len(ids) == len(set(ids))
+
+    def test_per_edge_capacities(self):
+        """A bottleneck edge with capacity 0 kills every route through it."""
+        p = random_tree_problem(n=10, m=8, r=1, seed=7)
+        # Choke the busiest edge.
+        act = p.edge_activity()
+        busiest = max(act, key=lambda ge: len(act[ge]))
+        caps = {busiest: 1e-9}
+        opt = solve_optimal_capacitated(p, caps)
+        for inst in opt.selected:
+            assert busiest not in p.global_edges_of(inst)
+
+    def test_lp_dominates_milp_capacitated(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=8, height_regime="narrow")
+        caps = 1.5
+        lp = lp_upper_bound_capacitated(p, caps)
+        milp = solve_optimal_capacitated(p, caps)
+        assert lp >= milp.profit - 1e-6
+
+    def test_bad_edge_capacity_rejected(self):
+        p = random_tree_problem(n=8, m=4, r=1, seed=9)
+        ge = next(iter(p.edge_activity()))
+        with pytest.raises(ValueError, match="positive"):
+            lp_upper_bound_capacitated(p, {ge: -1.0})

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (driven through ``cli.main``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def tree_json(tmp_path):
+    path = tmp_path / "tree.json"
+    rc = main(["generate", "--kind", "tree", "--n", "16", "--m", "10",
+               "--r", "2", "--seed", "1", "-o", str(path)])
+    assert rc == 0
+    return str(path)
+
+
+@pytest.fixture
+def line_json(tmp_path):
+    path = tmp_path / "line.json"
+    rc = main(["generate", "--kind", "line", "--n", "24", "--m", "10",
+               "--r", "2", "--seed", "1", "--heights", "mixed",
+               "-o", str(path)])
+    assert rc == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_tree_file_valid(self, tree_json):
+        doc = json.load(open(tree_json))
+        assert doc["kind"] == "tree"
+        assert len(doc["demands"]) == 10
+
+    def test_line_file_valid(self, line_json):
+        doc = json.load(open(line_json))
+        assert doc["kind"] == "line"
+        assert doc["n_slots"] == 24
+
+
+class TestSolve:
+    def test_auto_tree(self, tree_json, capsys):
+        assert main(["solve", tree_json, "--epsilon", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "profit" in out and "rounds" in out
+
+    def test_auto_line_arbitrary(self, line_json, capsys):
+        assert main(["solve", line_json, "--epsilon", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "line-arbitrary" in out
+
+    def test_explicit_algorithm(self, tree_json, capsys):
+        assert main(["solve", tree_json, "--algorithm", "sequential"]) == 0
+        assert "sequential" in capsys.readouterr().out
+
+    def test_exact(self, tree_json, capsys):
+        assert main(["solve", tree_json, "--algorithm", "exact"]) == 0
+        assert "milp" in capsys.readouterr().out
+
+    def test_save_solution(self, tree_json, tmp_path, capsys):
+        out_path = tmp_path / "sol.json"
+        assert main(["solve", tree_json, "--save-solution", str(out_path)]) == 0
+        doc = json.load(open(out_path))
+        assert "selected" in doc and "profit" in doc
+
+    def test_wrong_family_rejected(self, tree_json):
+        with pytest.raises(SystemExit, match="needs a line problem"):
+            main(["solve", tree_json, "--algorithm", "line-unit"])
+
+    def test_mis_backends(self, tree_json, capsys):
+        for mis in ["greedy", "priority", "luby"]:
+            assert main(["solve", tree_json, "--mis", mis]) == 0
+
+
+class TestCompare:
+    def test_tree(self, tree_json, capsys):
+        assert main(["compare", tree_json, "--epsilon", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact OPT" in out and "greedy" in out and "sequential" in out
+
+    def test_line(self, line_json, capsys):
+        assert main(["compare", line_json, "--epsilon", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Panconesi" in out
+
+
+class TestDecompose:
+    def test_table(self, capsys):
+        assert main(["decompose", "--topology", "caterpillar", "--n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal" in out and "root-fixing" in out and "depth" in out

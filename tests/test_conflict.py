@@ -1,0 +1,117 @@
+"""Tests for the conflict relation index (Section 2)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConflictIndex, random_line_problem, random_tree_problem
+
+
+def _index(problem) -> ConflictIndex:
+    insts = problem.instances()
+    return ConflictIndex(insts, [problem.global_edges_of(d) for d in insts])
+
+
+def _naive_conflict(problem, a, b) -> bool:
+    insts = problem.instances()
+    da, db = insts[a], insts[b]
+    if a == b:
+        return False
+    if da.demand_id == db.demand_id:
+        return True
+    if da.network_id != db.network_id:
+        return False
+    ea = set(problem.global_edges_of(da))
+    eb = set(problem.global_edges_of(db))
+    return bool(ea & eb)
+
+
+class TestConflictIndex:
+    def test_matches_naive_tree(self):
+        p = random_tree_problem(n=14, m=10, r=2, seed=0)
+        ci = _index(p)
+        n = len(p.instances())
+        for a, b in itertools.combinations(range(n), 2):
+            assert ci.conflicting(a, b) == _naive_conflict(p, a, b)
+
+    def test_matches_naive_line(self):
+        p = random_line_problem(n_slots=20, m=8, r=2, seed=1, max_len=6)
+        ci = _index(p)
+        n = len(p.instances())
+        for a, b in itertools.combinations(range(n), 2):
+            assert ci.conflicting(a, b) == _naive_conflict(p, a, b)
+
+    def test_same_demand_always_conflicts(self):
+        p = random_tree_problem(n=14, m=5, r=3, seed=2)
+        ci = _index(p)
+        for d1, d2 in itertools.combinations(p.instances(), 2):
+            if d1.demand_id == d2.demand_id:
+                assert ci.conflicting(d1.instance_id, d2.instance_id)
+
+    def test_neighbors_equal_conflict_set(self):
+        p = random_tree_problem(n=12, m=8, r=2, seed=3)
+        ci = _index(p)
+        n = len(p.instances())
+        for a in range(n):
+            expect = {b for b in range(n) if _naive_conflict(p, a, b)}
+            assert ci.neighbors(a) == expect
+
+    def test_neighbors_population_restriction(self):
+        p = random_tree_problem(n=12, m=8, r=2, seed=4)
+        ci = _index(p)
+        pop = set(range(0, len(p.instances()), 2))
+        for a in pop:
+            assert ci.neighbors(a, pop) == ci.neighbors(a) & pop
+
+    def test_is_independent(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=5)
+        ci = _index(p)
+        n = len(p.instances())
+        for subset in itertools.combinations(range(n), 3):
+            pairwise = all(
+                not ci.conflicting(a, b) for a, b in itertools.combinations(subset, 2)
+            )
+            assert ci.is_independent(subset) == pairwise
+
+    def test_subgraph_symmetry(self):
+        p = random_tree_problem(n=12, m=10, r=2, seed=6)
+        ci = _index(p)
+        pop = set(range(len(p.instances())))
+        adj = ci.subgraph(pop)
+        for v, nbrs in adj.items():
+            for u in nbrs:
+                assert v in adj[u]
+
+    def test_rejects_nondense_ids(self):
+        p = random_tree_problem(n=10, m=4, r=1, seed=7)
+        insts = p.instances()[1:]  # ids now start at 1
+        with pytest.raises(ValueError, match="dense"):
+            ConflictIndex(insts, [p.global_edges_of(d) for d in insts])
+
+    def test_to_networkx(self):
+        p = random_tree_problem(n=12, m=6, r=1, seed=8)
+        ci = _index(p)
+        g = ci.to_networkx()
+        for a, b in g.edges():
+            assert ci.conflicting(a, b)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    m=st.integers(min_value=2, max_value=12),
+    r=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_conflict_index_property(n, m, r, seed):
+    p = random_tree_problem(n=n, m=m, r=r, seed=seed, access_prob=0.7)
+    ci = _index(p)
+    N = len(p.instances())
+    for a in range(0, N, 3):
+        for b in range(1, N, 4):
+            if a != b:
+                assert ci.conflicting(a, b) == _naive_conflict(p, a, b)

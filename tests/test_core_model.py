@@ -1,0 +1,214 @@
+"""Tests for the core problem model: demands, problems, solutions,
+feasibility verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Demand,
+    FeasibilityError,
+    LineNetwork,
+    LineProblem,
+    Solution,
+    TreeNetwork,
+    TreeProblem,
+    WindowDemand,
+    random_line_problem,
+    random_tree_problem,
+    verify_line_solution,
+    verify_tree_solution,
+)
+from repro.core.demand import LineDemandInstance, TreeDemandInstance
+
+
+class TestDemandValidation:
+    def test_demand_ok(self):
+        d = Demand(0, 1, 2, profit=3.0, height=0.5)
+        assert d.narrow
+
+    def test_demand_rejects_equal_endpoints(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            Demand(0, 1, 1, profit=1.0)
+
+    def test_demand_rejects_nonpositive_profit(self):
+        with pytest.raises(ValueError, match="profit"):
+            Demand(0, 0, 1, profit=0.0)
+
+    @pytest.mark.parametrize("h", [0.0, -0.3, 1.2])
+    def test_demand_rejects_bad_height(self, h):
+        with pytest.raises(ValueError, match="height"):
+            Demand(0, 0, 1, profit=1.0, height=h)
+
+    def test_wide_narrow_boundary(self):
+        assert Demand(0, 0, 1, profit=1.0, height=0.5).narrow
+        assert not Demand(0, 0, 1, profit=1.0, height=0.500001).narrow
+
+    def test_window_demand_placements(self):
+        w = WindowDemand(0, release=2, deadline=7, proc_time=3, profit=1.0)
+        assert w.placements() == [(2, 4), (3, 5), (4, 6), (5, 7)]
+
+    def test_window_demand_pinned(self):
+        w = WindowDemand(0, release=4, deadline=6, proc_time=3, profit=1.0)
+        assert w.placements() == [(4, 6)]
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError, match="shorter than proc_time"):
+            WindowDemand(0, release=0, deadline=1, proc_time=3, profit=1.0)
+
+    def test_window_release_after_deadline(self):
+        with pytest.raises(ValueError, match="release"):
+            WindowDemand(0, release=5, deadline=1, proc_time=1, profit=1.0)
+
+
+class TestTreeProblem:
+    def test_instance_expansion_counts(self):
+        p = random_tree_problem(n=12, m=6, r=3, seed=0)
+        assert len(p.instances()) == sum(len(a) for a in p.access)
+
+    def test_instance_paths_cached_correctly(self):
+        p = random_tree_problem(n=15, m=8, r=2, seed=1)
+        for d in p.instances():
+            net = p.networks[d.network_id]
+            assert list(d.path_edges) == net.path_edges(d.u, d.v)
+
+    def test_network_id_mismatch_rejected(self):
+        net = TreeNetwork(3, [(0, 1), (1, 2)], network_id=5)
+        with pytest.raises(ValueError, match="network_id"):
+            TreeProblem(n=3, networks=[net], demands=[Demand(0, 0, 2, 1.0)])
+
+    def test_demand_id_mismatch_rejected(self):
+        net = TreeNetwork(3, [(0, 1), (1, 2)], network_id=0)
+        with pytest.raises(ValueError, match="demand_id"):
+            TreeProblem(n=3, networks=[net], demands=[Demand(4, 0, 2, 1.0)])
+
+    def test_default_access_is_everything(self):
+        net = TreeNetwork(3, [(0, 1), (1, 2)], network_id=0)
+        p = TreeProblem(n=3, networks=[net], demands=[Demand(0, 0, 2, 1.0)])
+        assert p.access[0] == frozenset({0})
+
+    def test_empty_access_rejected(self):
+        net = TreeNetwork(3, [(0, 1), (1, 2)], network_id=0)
+        with pytest.raises(ValueError, match="no network"):
+            TreeProblem(n=3, networks=[net], demands=[Demand(0, 0, 2, 1.0)],
+                        access=[set()])
+
+    def test_profit_range(self):
+        p = random_tree_problem(n=10, m=9, seed=2, profit_ratio=50)
+        pmin, pmax = p.profit_range()
+        assert 1.0 <= pmin <= pmax <= 50.0
+
+    def test_communication_graph_connects_sharers(self):
+        p = random_tree_problem(n=10, m=6, r=2, seed=3, access_prob=0.6)
+        g = p.communication_graph()
+        for i in range(6):
+            for j in range(i + 1, 6):
+                if p.access[i] & p.access[j]:
+                    assert g.has_edge(i, j)
+
+
+class TestLineProblem:
+    def test_window_expansion(self):
+        res = LineNetwork(10, network_id=0)
+        demands = [WindowDemand(0, release=0, deadline=5, proc_time=3, profit=1.0)]
+        p = LineProblem(n_slots=10, resources=[res], demands=demands)
+        assert len(p.instances()) == 4  # starts 0..3
+
+    def test_deadline_out_of_range(self):
+        res = LineNetwork(5, network_id=0)
+        with pytest.raises(ValueError, match="deadline"):
+            LineProblem(
+                n_slots=5,
+                resources=[res],
+                demands=[WindowDemand(0, release=0, deadline=7, proc_time=2,
+                                      profit=1.0)],
+            )
+
+    def test_length_range(self):
+        p = random_line_problem(n_slots=30, m=10, seed=4, min_len=2, max_len=9)
+        lmin, lmax = p.length_range()
+        assert 2 <= lmin <= lmax <= 9
+
+
+class TestVerification:
+    def test_accepts_feasible(self, fig2_problem):
+        insts = fig2_problem.instances()
+        sol = Solution(selected=[insts[0], insts[2]])  # heights .4 + .3
+        verify_tree_solution(fig2_problem, sol)
+
+    def test_rejects_overloaded_edge(self, fig2_problem):
+        insts = fig2_problem.instances()
+        sol = Solution(selected=[insts[0], insts[1]])  # .4 + .7 > 1
+        with pytest.raises(FeasibilityError, match="carries height"):
+            verify_tree_solution(fig2_problem, sol)
+
+    def test_rejects_duplicate_demand(self):
+        p = random_tree_problem(n=10, m=4, r=2, seed=5)
+        insts = [d for d in p.instances() if d.demand_id == 0]
+        assert len(insts) >= 2
+        sol = Solution(selected=insts[:2])
+        with pytest.raises(FeasibilityError, match="more than one"):
+            verify_tree_solution(p, sol)
+
+    def test_rejects_inaccessible_network(self):
+        p = random_tree_problem(n=10, m=4, r=2, seed=6, access_prob=1.0)
+        d = p.instances()[0]
+        p.access[d.demand_id] = frozenset({1 - d.network_id})
+        sol = Solution(selected=[d])
+        with pytest.raises(FeasibilityError, match="inaccessible"):
+            verify_tree_solution(p, sol)
+
+    def test_rejects_tampered_route(self):
+        p = random_tree_problem(n=10, m=4, r=1, seed=7)
+        d = p.instances()[0]
+        import dataclasses
+
+        bad = dataclasses.replace(d, path_edges=tuple(d.path_edges[:-1]))
+        with pytest.raises(FeasibilityError, match="route disagrees"):
+            verify_tree_solution(p, Solution(selected=[bad]))
+
+    def test_line_rejects_window_escape(self):
+        res = LineNetwork(10, network_id=0)
+        demands = [WindowDemand(0, release=2, deadline=6, proc_time=3, profit=1.0)]
+        p = LineProblem(n_slots=10, resources=[res], demands=demands)
+        bad = LineDemandInstance(0, 0, 0, start=5, end=7, profit=1.0)
+        with pytest.raises(FeasibilityError, match="escapes"):
+            verify_line_solution(p, Solution(selected=[bad]))
+
+    def test_line_rejects_wrong_length(self):
+        res = LineNetwork(10, network_id=0)
+        demands = [WindowDemand(0, release=2, deadline=6, proc_time=3, profit=1.0)]
+        p = LineProblem(n_slots=10, resources=[res], demands=demands)
+        bad = LineDemandInstance(0, 0, 0, start=2, end=5, profit=1.0)
+        with pytest.raises(FeasibilityError, match="needs 3"):
+            verify_line_solution(p, Solution(selected=[bad]))
+
+    def test_fig1_semantics(self, fig1_problem):
+        """Figure 1: {A,C} and {B,C} feasible, {A,B} not."""
+        insts = {d.demand_id: d for d in fig1_problem.instances()}
+        verify_line_solution(fig1_problem, Solution(selected=[insts[0], insts[2]]))
+        verify_line_solution(fig1_problem, Solution(selected=[insts[1], insts[2]]))
+        with pytest.raises(FeasibilityError):
+            verify_line_solution(fig1_problem, Solution(selected=[insts[0], insts[1]]))
+
+    def test_fig2_semantics(self, fig2_problem):
+        """Figure 2: all three demands share edge (4,5); unit case packs
+        one; heights (.4, .7, .3) admit the first and third together."""
+        insts = fig2_problem.instances()
+        shared = set(insts[0].path_edges) & set(insts[1].path_edges) & set(
+            insts[2].path_edges
+        )
+        assert shared  # the common edge exists
+        with pytest.raises(FeasibilityError):
+            verify_tree_solution(
+                fig2_problem, Solution(selected=list(insts)), unit_height=False
+            )
+
+    def test_solution_helpers(self):
+        p = random_tree_problem(n=10, m=5, r=2, seed=8)
+        insts = p.instances()
+        sol = Solution(selected=[insts[0]])
+        assert sol.size == 1
+        assert sol.profit == insts[0].profit
+        assert sol.demand_ids() == {insts[0].demand_id}
+        assert insts[0] in sol.by_network()[insts[0].network_id]

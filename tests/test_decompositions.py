@@ -1,0 +1,176 @@
+"""Tests for the Section 4 tree decompositions.
+
+The validators in :mod:`repro.decomposition.validate` re-check the
+defining properties from scratch; the bounds asserted here are the ones
+Lemma 4.1 and Section 4.2 state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    balancing_decomposition,
+    ideal_decomposition,
+    make_tree,
+    root_fixing_decomposition,
+)
+from repro.decomposition.validate import (
+    brute_force_chi,
+    check_pivot_sets,
+    check_tree_decomposition,
+)
+from repro.workloads import TREE_TOPOLOGIES
+
+ALL_BUILDERS = [root_fixing_decomposition, balancing_decomposition, ideal_decomposition]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+@pytest.mark.parametrize("topology", TREE_TOPOLOGIES)
+def test_valid_decomposition_every_topology(builder, topology):
+    t = make_tree(31, topology, seed=5)
+    td = builder(t)
+    check_tree_decomposition(td)
+    check_pivot_sets(td)
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+def test_single_vertex_tree(builder):
+    td = builder(make_tree(1, "path"))
+    assert td.max_depth == 1
+    assert td.pivot_size == 0
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+def test_two_vertex_tree(builder):
+    td = builder(make_tree(2, "path"))
+    check_tree_decomposition(td)
+    assert td.max_depth == 2
+
+
+class TestRootFixing:
+    def test_pivot_is_one(self):
+        for topology in TREE_TOPOLOGIES:
+            t = make_tree(25, topology, seed=1)
+            td = root_fixing_decomposition(t)
+            assert td.pivot_size <= 1
+
+    def test_depth_is_tree_height(self):
+        t = make_tree(20, "path")
+        td = root_fixing_decomposition(t, root=0)
+        assert td.max_depth == 20  # worst case: a path rooted at its end
+
+    def test_chi_is_parent(self):
+        t = make_tree(25, "random", seed=2)
+        td = root_fixing_decomposition(t, root=0)
+        for v in range(1, 25):
+            assert td.chi(v) == (td.parent[v],)
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError, match="root"):
+            root_fixing_decomposition(make_tree(4, "path"), root=9)
+
+
+class TestBalancing:
+    @pytest.mark.parametrize("n", [2, 5, 16, 33, 64, 127])
+    def test_depth_logarithmic(self, n):
+        t = make_tree(n, "path")
+        td = balancing_decomposition(t)
+        assert td.max_depth <= math.ceil(math.log2(n)) + 1
+
+    def test_pivot_bounded_by_depth(self):
+        t = make_tree(64, "random", seed=3)
+        td = balancing_decomposition(t)
+        # χ(z) ⊆ ancestors of z, so pivot ≤ depth - 1.
+        assert td.pivot_size <= td.max_depth - 1
+
+    def test_pivot_can_exceed_two(self):
+        # On some trees the balancing decomposition's pivot exceeds 2 —
+        # the weakness that motivates the ideal decomposition (§4.2).
+        # (On paths every component has ≤ 2 neighbours, so the gap only
+        # shows on branchier topologies like caterpillars.)
+        t = make_tree(31, "caterpillar", seed=1)
+        td = balancing_decomposition(t)
+        assert td.pivot_size > 2
+
+
+class TestIdeal:
+    @pytest.mark.parametrize("topology", TREE_TOPOLOGIES)
+    @pytest.mark.parametrize("n", [2, 3, 7, 16, 33, 100, 257])
+    def test_lemma41_bounds(self, topology, n):
+        t = make_tree(n, topology, seed=13)
+        td = ideal_decomposition(t)
+        check_tree_decomposition(td)
+        assert td.pivot_size <= 2, f"θ > 2 on {topology} n={n}"
+        assert td.max_depth <= 2 * math.ceil(math.log2(n)) + 1, (
+            f"depth {td.max_depth} exceeds 2⌈log n⌉+1 on {topology} n={n}"
+        )
+
+    def test_pivot_matches_brute_force(self):
+        t = make_tree(48, "random", seed=17)
+        td = ideal_decomposition(t)
+        for z in range(48):
+            assert td.chi(z) == brute_force_chi(td, z)
+
+    def test_depth_beats_root_fixing_on_paths(self):
+        t = make_tree(256, "path")
+        assert ideal_decomposition(t).max_depth < root_fixing_decomposition(t).max_depth
+
+    def test_pivot_beats_balancing_where_it_matters(self):
+        t = make_tree(31, "caterpillar", seed=1)
+        assert ideal_decomposition(t).pivot_size < balancing_decomposition(t).pivot_size
+
+
+class TestCapture:
+    def test_capture_unique_min_depth(self, paper_tree):
+        td = ideal_decomposition(paper_tree)
+        check_tree_decomposition(td)
+        for u in range(14):
+            for v in range(14):
+                if u == v:
+                    continue
+                z = td.capture(u, v)
+                path = paper_tree.path_vertices(u, v)
+                depths = [td.depth[x] for x in path]
+                assert td.depth[z] == min(depths)
+                # Uniqueness of the minimum (LCA property).
+                assert depths.count(min(depths)) == 1
+
+    def test_capture_is_h_lca(self):
+        t = make_tree(30, "random", seed=23)
+        td = ideal_decomposition(t)
+        for u in range(0, 30, 3):
+            for v in range(1, 30, 4):
+                if u != v:
+                    assert td.capture(u, v) == td.lca(u, v)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    topology=st.sampled_from(list(TREE_TOPOLOGIES)),
+)
+@settings(max_examples=60, deadline=None)
+def test_ideal_decomposition_property(n, seed, topology):
+    """Lemma 4.1 as a property: valid, θ ≤ 2, depth ≤ 2⌈log n⌉+1, always."""
+    t = make_tree(n, topology, seed=seed)
+    td = ideal_decomposition(t)
+    check_tree_decomposition(td)
+    assert td.pivot_size <= 2
+    assert td.max_depth <= 2 * math.ceil(math.log2(n)) + 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_balancing_decomposition_property(n, seed):
+    t = make_tree(n, "random", seed=seed)
+    td = balancing_decomposition(t)
+    check_tree_decomposition(td)
+    assert td.max_depth <= math.ceil(math.log2(n)) + 1

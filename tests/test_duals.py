@@ -1,0 +1,104 @@
+"""Tests for the dual-variable store and raising rules (§3.2, §6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DualState
+
+
+def simple_state(heights=(1.0, 1.0, 1.0)) -> DualState:
+    """Three instances; 0 and 1 share demand 0; all share edge 'e1'."""
+    return DualState(
+        profits=[4.0, 6.0, 10.0],
+        heights=list(heights),
+        demand_of=[0, 0, 1],
+        edges_of=[("e1", "e2"), ("e1",), ("e1", "e3")],
+    )
+
+
+class TestUnitRaise:
+    def test_raise_tightens(self):
+        ds = simple_state()
+        ds.raise_unit(0, critical=("e1",))
+        assert ds.lhs(0) == pytest.approx(4.0)
+        # δ = 4/2 = 2 split between α(0) and β(e1).
+        assert ds.alpha[0] == pytest.approx(2.0)
+        assert ds.beta["e1"] == pytest.approx(2.0)
+
+    def test_raise_affects_conflicting(self):
+        ds = simple_state()
+        ds.raise_unit(0, critical=("e1",))
+        # Instance 1 shares demand 0 (α) and edge e1 (β): LHS = 2 + 2.
+        assert ds.lhs(1) == pytest.approx(4.0)
+        # Instance 2 only shares e1.
+        assert ds.lhs(2) == pytest.approx(2.0)
+
+    def test_raise_skips_satisfied(self):
+        ds = simple_state()
+        ds.raise_unit(0, critical=("e1",))
+        assert ds.raise_unit(0, critical=("e1",)) == 0.0
+
+    def test_no_alpha_variant(self):
+        ds = simple_state()
+        ds.raise_unit(0, critical=("e1", "e2"), include_alpha=False)
+        assert 0 not in ds.alpha
+        assert ds.lhs(0) == pytest.approx(4.0)
+        assert ds.beta["e1"] == pytest.approx(2.0)
+
+    def test_no_alpha_no_critical_rejected(self):
+        ds = simple_state()
+        with pytest.raises(ValueError, match="no critical"):
+            ds.raise_unit(0, critical=(), include_alpha=False)
+
+    def test_satisfied_thresholds(self):
+        ds = simple_state()
+        ds.raise_unit(2, critical=("e3",))
+        assert ds.satisfied(2, 1.0)
+        assert not ds.satisfied(0, 1.0)
+        # Raising instance 2 (demand 1, critical e3) leaves instance 0
+        # (demand 0, edges e1/e2) untouched.
+        assert ds.lhs(0) == pytest.approx(0.0)
+
+
+class TestNarrowRaise:
+    def test_raise_tightens_weighted(self):
+        ds = simple_state(heights=(0.25, 0.5, 0.4))
+        ds.raise_narrow(0, critical=("e1", "e2"))
+        # δ = s / (1 + 2·h·k²) = 4 / (1 + 2·0.25·4) = 4/3.
+        # β bump per edge = 2kδ = 4δ.
+        assert ds.lhs(0) == pytest.approx(4.0)
+        delta = 4.0 / 3.0
+        assert ds.alpha[0] == pytest.approx(delta)
+        assert ds.beta["e1"] == pytest.approx(4 * delta)
+
+    def test_narrow_contribution_to_overlapper(self):
+        ds = simple_state(heights=(0.25, 0.5, 0.4))
+        ds.raise_narrow(0, critical=("e1",))
+        # Instance 2 (h=.4) sees h·β(e1) = .4 · 2δ where δ = 4/(1+2·.25·1) = 8/3.
+        delta = 4.0 / 1.5
+        assert ds.lhs(2) == pytest.approx(0.4 * 2 * delta)
+
+
+class TestCertificates:
+    def test_objective_counts_all(self):
+        ds = simple_state()
+        ds.raise_unit(0, critical=("e1", "e2"))
+        # δ = 4/3; objective = α + 2β = 3δ = 4.
+        assert ds.objective() == pytest.approx(4.0)
+
+    def test_realized_lambda(self):
+        ds = simple_state()
+        assert ds.realized_lambda() == 0.0
+        ds.raise_unit(0, critical=("e1",))
+        ds.raise_unit(1, critical=("e1",))
+        ds.raise_unit(2, critical=("e1",))
+        assert ds.realized_lambda() == pytest.approx(1.0)
+
+    def test_upper_bound_infinite_when_unraised(self):
+        ds = simple_state()
+        assert ds.opt_upper_bound() == float("inf")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            DualState([1.0], [1.0, 1.0], [0], [()])

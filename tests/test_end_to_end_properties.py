@@ -1,0 +1,97 @@
+"""End-to-end property tests: on *arbitrary* small random instances, the
+full pipelines honour their theorem bounds against brute-force optima.
+
+These are the strongest tests in the suite: hypothesis searches instance
+space for violations of Theorems 5.3, 6.3, 7.1 and 7.2.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    brute_force_optimal,
+    random_line_problem,
+    random_tree_problem,
+    solve_line_arbitrary,
+    solve_line_unit,
+    solve_sequential_tree,
+    solve_tree_arbitrary,
+    solve_tree_unit,
+    verify_line_solution,
+    verify_tree_solution,
+)
+
+SMALL_TREE = dict(n=st.integers(4, 12), m=st.integers(1, 6),
+                  r=st.integers(1, 3), seed=st.integers(0, 100_000))
+
+
+@given(**SMALL_TREE)
+@settings(max_examples=30, deadline=None)
+def test_theorem53_property(n, m, r, seed):
+    p = random_tree_problem(n=n, m=m, r=r, seed=seed, access_prob=0.8)
+    eps = 0.1
+    sol = solve_tree_unit(p, epsilon=eps, seed=seed)
+    verify_tree_solution(p, sol, unit_height=True)
+    opt = brute_force_optimal(p, max_instances=80)
+    assert sol.profit >= opt.profit / (7 / (1 - eps)) - 1e-9
+    assert sol.stats["opt_upper_bound"] >= opt.profit - 1e-6
+
+
+@given(**SMALL_TREE)
+@settings(max_examples=25, deadline=None)
+def test_theorem63_property(n, m, r, seed):
+    p = random_tree_problem(n=n, m=m, r=r, seed=seed, height_regime="mixed",
+                            hmin=0.1, access_prob=0.8)
+    eps = 0.1
+    sol = solve_tree_arbitrary(p, epsilon=eps, seed=seed)
+    verify_tree_solution(p, sol, unit_height=False)
+    opt = brute_force_optimal(p, max_instances=80)
+    assert sol.profit >= opt.profit / (80 / (1 - eps)) - 1e-9
+
+
+@given(**SMALL_TREE)
+@settings(max_examples=25, deadline=None)
+def test_appendixA_property(n, m, r, seed):
+    p = random_tree_problem(n=n, m=m, r=r, seed=seed, access_prob=0.8)
+    sol = solve_sequential_tree(p)
+    verify_tree_solution(p, sol, unit_height=True)
+    opt = brute_force_optimal(p, max_instances=80)
+    bound = 2.0 if not sol.stats["raise_alpha"] else 3.0
+    assert sol.profit >= opt.profit / bound - 1e-9
+
+
+@given(
+    n_slots=st.integers(6, 16),
+    m=st.integers(1, 5),
+    r=st.integers(1, 2),
+    seed=st.integers(0, 100_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_theorem71_property(n_slots, m, r, seed):
+    p = random_line_problem(n_slots=n_slots, m=m, r=r, seed=seed,
+                            max_len=max(1, n_slots // 3), window_slack=0.5)
+    eps = 0.1
+    sol = solve_line_unit(p, epsilon=eps, seed=seed)
+    verify_line_solution(p, sol, unit_height=True)
+    opt = brute_force_optimal(p, max_instances=80)
+    assert sol.profit >= opt.profit / (4 / (1 - eps)) - 1e-9
+
+
+@given(
+    n_slots=st.integers(6, 14),
+    m=st.integers(1, 5),
+    seed=st.integers(0, 100_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_theorem72_property(n_slots, m, seed):
+    p = random_line_problem(n_slots=n_slots, m=m, r=1, seed=seed,
+                            height_regime="mixed", hmin=0.1,
+                            max_len=max(1, n_slots // 3), window_slack=0.3)
+    eps = 0.1
+    sol = solve_line_arbitrary(p, epsilon=eps, seed=seed)
+    verify_line_solution(p, sol, unit_height=False)
+    opt = brute_force_optimal(p, max_instances=80)
+    assert sol.profit >= opt.profit / (23 / (1 - eps)) - 1e-9

@@ -1,0 +1,116 @@
+"""Cross-checks of the exactness ladder: brute force == MILP ≤ LP."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    brute_force_optimal,
+    lp_upper_bound,
+    random_line_problem,
+    random_tree_problem,
+    solve_greedy,
+    solve_optimal,
+    verify_line_solution,
+    verify_tree_solution,
+)
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_milp_equals_brute_force_tree(self, seed):
+        p = random_tree_problem(n=10, m=6, r=2, seed=seed)
+        bf = brute_force_optimal(p)
+        milp = solve_optimal(p)
+        assert milp.profit == pytest.approx(bf.profit, rel=1e-6)
+        verify_tree_solution(p, milp)
+        verify_tree_solution(p, bf)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_milp_equals_brute_force_line(self, seed):
+        p = random_line_problem(n_slots=12, m=5, r=1, seed=seed, max_len=4)
+        bf = brute_force_optimal(p)
+        milp = solve_optimal(p)
+        assert milp.profit == pytest.approx(bf.profit, rel=1e-6)
+        verify_line_solution(p, milp)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_milp_with_heights(self, seed):
+        p = random_tree_problem(n=10, m=6, r=1, seed=seed, height_regime="mixed")
+        bf = brute_force_optimal(p)
+        milp = solve_optimal(p)
+        assert milp.profit == pytest.approx(bf.profit, rel=1e-6)
+        verify_tree_solution(p, milp, unit_height=False)
+
+    def test_lp_dominates_milp(self):
+        for seed in range(5):
+            p = random_tree_problem(n=12, m=8, r=2, seed=seed)
+            assert lp_upper_bound(p) >= solve_optimal(p).profit - 1e-6
+
+    def test_brute_force_cap(self):
+        p = random_tree_problem(n=10, m=30, r=3, seed=0)
+        with pytest.raises(ValueError, match="exceed"):
+            brute_force_optimal(p, max_instances=10)
+
+
+class TestLineTreeReductionOptima:
+    """OPT must agree when a pinned-window line problem is re-expressed
+    as a path tree-network problem (Section 7's reduction)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_opt_agrees(self, seed):
+        from repro import Demand, TreeProblem, line_as_tree
+        from repro.network.line import interval_to_endpoints
+
+        p = random_line_problem(n_slots=15, m=6, r=2, seed=seed,
+                                window_slack=0.0, max_len=5)
+        nets = [line_as_tree(res) for res in p.resources]
+        demands = []
+        for a in p.demands:
+            (s, e) = a.placements()[0]
+            u, v = interval_to_endpoints((s, e))
+            demands.append(Demand(a.demand_id, u, v, a.profit, a.height))
+        tp = TreeProblem(n=p.n_slots + 1, networks=nets, demands=demands,
+                         access=list(p.access))
+        assert solve_optimal(p).profit == pytest.approx(
+            solve_optimal(tp).profit, rel=1e-6
+        )
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("order", ["profit", "density"])
+    def test_feasible(self, order):
+        p = random_tree_problem(n=16, m=12, r=2, seed=3, height_regime="mixed")
+        sol = solve_greedy(p, order=order)
+        verify_tree_solution(p, sol, unit_height=False)
+
+    def test_line_feasible(self):
+        p = random_line_problem(n_slots=30, m=15, r=2, seed=4, max_len=8)
+        sol = solve_greedy(p)
+        verify_line_solution(p, sol, unit_height=True)
+
+    def test_unknown_order(self):
+        p = random_tree_problem(n=8, m=4, r=1, seed=5)
+        with pytest.raises(ValueError, match="unknown order"):
+            solve_greedy(p, order="alphabetical")
+
+    def test_greedy_not_above_opt(self):
+        p = random_tree_problem(n=12, m=8, r=2, seed=6)
+        assert solve_greedy(p).profit <= solve_optimal(p).profit + 1e-9
+
+
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    m=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_exactness_ladder_property(n, m, seed):
+    p = random_tree_problem(n=n, m=m, r=2, seed=seed, height_regime="mixed")
+    bf = brute_force_optimal(p)
+    milp = solve_optimal(p)
+    lp = lp_upper_bound(p)
+    assert abs(bf.profit - milp.profit) <= 1e-6 * max(1.0, bf.profit)
+    assert lp >= milp.profit - 1e-6

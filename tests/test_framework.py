@@ -1,0 +1,182 @@
+"""Tests for the two-phase engine: schedule math, λ-satisfaction,
+stack/prune semantics, and the Lemma 3.1 / 6.1 certificates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    TwoPhaseEngine,
+    compile_line,
+    compile_tree,
+    random_line_problem,
+    random_tree_problem,
+)
+from repro.algorithms.framework import narrow_xi, stage_count, unit_xi
+
+
+class TestScheduleMath:
+    def test_unit_xi_paper_constants(self):
+        assert unit_xi(6) == pytest.approx(14 / 15)  # trees
+        assert unit_xi(3) == pytest.approx(8 / 9)    # lines
+
+    def test_narrow_xi_paper_constants(self):
+        assert narrow_xi(6, 0.5) == pytest.approx(73 / 73.5)
+        assert narrow_xi(3, 0.25) == pytest.approx(19 / 19.25)
+
+    def test_narrow_xi_rejects_bad_hmin(self):
+        with pytest.raises(ValueError):
+            narrow_xi(6, 0.0)
+        with pytest.raises(ValueError):
+            narrow_xi(6, 0.7)
+
+    def test_stage_count(self):
+        xi = 14 / 15
+        b = stage_count(xi, 0.1)
+        assert xi**b <= 0.1 < xi ** (b - 1)
+
+    def test_stage_count_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            stage_count(0.9, 0.0)
+        with pytest.raises(ValueError):
+            stage_count(1.5, 0.1)
+
+
+class TestEngineInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lambda_satisfaction_unit(self, seed):
+        """After phase 1 every dual constraint is (1-ε)-satisfied —
+        the λ = 1-ε claim at the heart of the improvement over PS."""
+        p = random_tree_problem(n=20, m=15, r=2, seed=seed)
+        inp = compile_tree(p)
+        eps = 0.15
+        eng = TwoPhaseEngine(inp, EngineConfig(rule="unit", epsilon=eps, seed=seed))
+        _, stats = eng.run()
+        assert stats.realized_lambda >= 1 - eps - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lambda_satisfaction_narrow(self, seed):
+        p = random_tree_problem(n=16, m=12, r=1, seed=seed,
+                                height_regime="narrow", hmin=0.2)
+        inp = compile_tree(p)
+        eps = 0.2
+        eng = TwoPhaseEngine(
+            inp,
+            EngineConfig(rule="narrow", epsilon=eps, hmin=0.2, seed=seed,
+                         capacity_phase2=True),
+        )
+        _, stats = eng.run()
+        assert stats.realized_lambda >= 1 - eps - 1e-9
+
+    def test_single_stage_lambda(self):
+        """PS-style single stage: λ lands at (at least) the fixed target."""
+        p = random_line_problem(n_slots=30, m=12, r=1, seed=1, max_len=8)
+        inp = compile_line(p)
+        target = 1 / 5.1
+        eng = TwoPhaseEngine(
+            inp, EngineConfig(rule="unit", single_stage_target=target, seed=1)
+        )
+        _, stats = eng.run()
+        assert stats.realized_lambda >= target - 1e-9
+
+    def test_solution_is_independent_set(self):
+        p = random_tree_problem(n=24, m=20, r=2, seed=5)
+        inp = compile_tree(p)
+        eng = TwoPhaseEngine(inp, EngineConfig(seed=2))
+        selected, _ = eng.run()
+        used_edges: set = set()
+        used_demands: set = set()
+        for d in selected:
+            assert d.demand_id not in used_demands
+            used_demands.add(d.demand_id)
+            edges = inp.edges_of[d.instance_id]
+            assert not (edges & used_edges)
+            used_edges |= edges
+
+    def test_solution_is_maximal(self):
+        """Phase 2 output cannot be extended by any raised instance —
+        every raised instance is selected or blocked (the succ(d)∩S ≠ ∅
+        step in Lemma 3.1's proof)."""
+        p = random_tree_problem(n=20, m=16, r=1, seed=6)
+        inp = compile_tree(p)
+        eng = TwoPhaseEngine(inp, EngineConfig(seed=3))
+        selected, _ = eng.run()
+        used_edges: set = set()
+        used_demands = {d.demand_id for d in selected}
+        for d in selected:
+            used_edges |= inp.edges_of[d.instance_id]
+        raised = {iid for iid, *_ in eng.duals.raise_log}
+        for iid in raised:
+            inst = inp.instances[iid]
+            if inst in selected:
+                continue
+            blocked = inst.demand_id in used_demands or (
+                inp.edges_of[iid] & used_edges
+            )
+            assert blocked, f"raised instance {iid} could have been added"
+
+    def test_dual_certificate_dominates_solution(self):
+        """opt_upper_bound = dual objective / λ must upper-bound any
+        feasible solution's profit, in particular the engine's own."""
+        p = random_tree_problem(n=18, m=14, r=2, seed=7)
+        inp = compile_tree(p)
+        eng = TwoPhaseEngine(inp, EngineConfig(seed=4))
+        selected, stats = eng.run()
+        profit = sum(d.profit for d in selected)
+        assert stats.opt_upper_bound >= profit - 1e-6
+
+    def test_lemma31_certificate(self):
+        """profit ≥ λ/(∆+1) · (dual objective / λ) = objective/(∆+1):
+        the engine's output satisfies its own Lemma 3.1 chain."""
+        p = random_tree_problem(n=22, m=18, r=2, seed=8)
+        inp = compile_tree(p)
+        eng = TwoPhaseEngine(inp, EngineConfig(epsilon=0.1, seed=5))
+        selected, stats = eng.run()
+        profit = sum(d.profit for d in selected)
+        assert profit >= stats.dual_objective / (stats.delta + 1) - 1e-9
+
+    def test_round_ledger_consistency(self):
+        p = random_tree_problem(n=16, m=12, r=1, seed=9)
+        inp = compile_tree(p)
+        eng = TwoPhaseEngine(inp, EngineConfig(seed=6))
+        _, stats = eng.run()
+        assert stats.phase1_rounds == stats.mis_rounds + stats.steps
+        assert stats.phase2_rounds == stats.steps
+        assert stats.total_rounds == stats.phase1_rounds + stats.phase2_rounds
+        assert sum(stats.steps_per_stage) == stats.steps
+
+    def test_kill_chain_bound_lemma51(self):
+        """Steps per stage ≤ 1 + log₂(pmax/pmin) · slack constant —
+        Lemma 5.1's geometric kill-chain argument, measured."""
+        p = random_tree_problem(n=24, m=30, r=2, seed=10, profit_ratio=64.0)
+        inp = compile_tree(p)
+        eng = TwoPhaseEngine(inp, EngineConfig(epsilon=0.1, seed=7))
+        _, stats = eng.run()
+        pmin, pmax = p.profit_range()
+        bound = 1 + math.log2(pmax / pmin)
+        assert stats.max_steps_in_a_stage <= bound + 1e-9
+
+    def test_greedy_and_luby_both_feasible(self):
+        p = random_tree_problem(n=18, m=14, r=2, seed=11)
+        inp = compile_tree(p)
+        for mis in ("greedy", "luby"):
+            eng = TwoPhaseEngine(inp, EngineConfig(mis=mis, seed=8))
+            selected, _ = eng.run()
+            assert len({d.demand_id for d in selected}) == len(selected)
+
+    def test_bad_input_rejected(self):
+        p = random_tree_problem(n=10, m=5, r=1, seed=12)
+        inp = compile_tree(p)
+        from repro import EngineInput
+
+        with pytest.raises(ValueError, match="partition"):
+            EngineInput(
+                instances=inp.instances,
+                edges_of=inp.edges_of,
+                critical=inp.critical,
+                groups=inp.groups[:-1] if len(inp.groups) > 1 else [],
+                delta=6,
+            )

@@ -1,0 +1,198 @@
+"""Tests for layered decompositions (Lemma 4.2/4.3 and the Section 7 line
+construction), checked with the brute-force interference validator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    LineProblem,
+    balancing_decomposition,
+    ideal_decomposition,
+    line_layers,
+    make_tree,
+    random_line_problem,
+    random_tree_problem,
+    root_fixing_decomposition,
+    tree_layers,
+)
+from repro.decomposition.validate import check_layered_decomposition
+
+
+def _tree_edges_of(problem):
+    # Single-network problems: tree_layers emits *local* edge keys, so the
+    # validator's edge space must be local too.
+    return {
+        d.instance_id: frozenset(d.path_edges) for d in problem.instances()
+    }
+
+
+def _line_edges_of(problem):
+    return {
+        d.instance_id: frozenset((d.network_id, t) for t in range(d.start, d.end + 1))
+        for d in problem.instances()
+    }
+
+
+class TestTreeLayers:
+    def test_delta_at_most_six_with_ideal(self):
+        p = random_tree_problem(n=40, m=60, r=1, seed=2)
+        td = ideal_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        assert ld.delta <= 6
+        assert ld.length <= 2 * math.ceil(math.log2(40)) + 1
+
+    def test_interference_property_ideal(self):
+        p = random_tree_problem(n=24, m=40, r=1, seed=3)
+        td = ideal_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        check_layered_decomposition(ld, _tree_edges_of(p))
+
+    def test_interference_property_root_fixing(self):
+        p = random_tree_problem(n=24, m=40, r=1, seed=4)
+        td = root_fixing_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        assert ld.delta <= 4  # 2(θ+1) with θ=1
+        check_layered_decomposition(ld, _tree_edges_of(p))
+
+    def test_interference_property_balancing(self):
+        p = random_tree_problem(n=24, m=40, r=1, seed=5)
+        td = balancing_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        check_layered_decomposition(ld, _tree_edges_of(p))
+
+    def test_critical_edges_on_route(self):
+        p = random_tree_problem(n=30, m=50, r=1, seed=6)
+        td = ideal_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        for d in p.instances():
+            assert set(ld.critical[d.instance_id]) <= set(d.path_edges)
+            assert len(ld.critical[d.instance_id]) >= 1
+
+    def test_wrong_network_rejected(self):
+        p = random_tree_problem(n=10, m=5, r=2, seed=7)
+        td = ideal_decomposition(p.networks[0])
+        bad = [d for d in p.instances() if d.network_id == 1]
+        with pytest.raises(ValueError, match="network"):
+            tree_layers(td, bad)
+
+    def test_groups_partition(self):
+        p = random_tree_problem(n=30, m=25, r=1, seed=8)
+        td = ideal_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        flat = sorted(i for g in ld.groups for i in g)
+        assert flat == [d.instance_id for d in p.instances()]
+
+    def test_deepest_captures_first(self):
+        # Instances captured deeper in H must land in earlier groups.
+        p = random_tree_problem(n=30, m=25, r=1, seed=9)
+        td = ideal_decomposition(p.networks[0])
+        ld = tree_layers(td, p.instances())
+        insts = {d.instance_id: d for d in p.instances()}
+        for k, grp in enumerate(ld.groups):
+            for iid in grp:
+                d = insts[iid]
+                z = td.capture(d.u, d.v)
+                assert td.depth[z] == td.max_depth - k
+
+
+class TestLineLayers:
+    def test_delta_at_most_three(self):
+        p = random_line_problem(n_slots=60, m=40, r=2, seed=1, max_len=16)
+        ld = line_layers(p.instances())
+        assert ld.delta <= 3
+
+    def test_length_bound(self):
+        p = random_line_problem(n_slots=128, m=40, r=1, seed=2, min_len=2, max_len=64)
+        ld = line_layers(p.instances())
+        lmin, lmax = p.length_range()
+        # Instance lengths == processing times here, so the bound applies.
+        assert ld.length <= math.ceil(math.log2(lmax / lmin)) + 1
+
+    def test_interference_property(self):
+        p = random_line_problem(n_slots=40, m=30, r=2, seed=3, max_len=12)
+        ld = line_layers(p.instances())
+        # Local edge space for the validator: (resource, slot).
+        edges = _line_edges_of(p)
+        crit_global = {
+            iid: tuple((p.instances()[iid].network_id, t) for t in crit)
+            for iid, crit in ld.critical.items()
+        }
+        from repro.decomposition.layered import LayeredDecomposition
+
+        gl = LayeredDecomposition(groups=ld.groups, critical=crit_global)
+        check_layered_decomposition(gl, edges)
+
+    def test_shortest_first(self):
+        p = random_line_problem(n_slots=60, m=40, r=1, seed=4, min_len=1, max_len=30)
+        ld = line_layers(p.instances())
+        insts = p.instances()
+        prev_max = 0
+        for grp in ld.groups:
+            if not grp:
+                continue
+            lo = min(insts[i].length for i in grp)
+            assert lo >= prev_max / 2  # doubling buckets
+            prev_max = max(insts[i].length for i in grp)
+
+    def test_unit_length_instances(self):
+        # Length-1 instances: critical set collapses to a single slot.
+        res = random_line_problem(n_slots=10, m=8, r=1, seed=5, min_len=1, max_len=1)
+        ld = line_layers(res.instances())
+        assert ld.length == 1
+        assert all(len(c) == 1 for c in ld.critical.values())
+
+    def test_out_of_range_length_rejected(self):
+        p = random_line_problem(n_slots=30, m=10, r=1, seed=6, min_len=2, max_len=8)
+        with pytest.raises(ValueError, match="outside declared"):
+            line_layers(p.instances(), l_min=4, l_max=8)
+
+    def test_empty(self):
+        ld = line_layers([])
+        assert ld.length == 0 and ld.delta == 0
+
+
+@given(
+    n=st.integers(min_value=4, max_value=40),
+    m=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_tree_layers_interference_property_random(n, m, seed):
+    """Lemma 4.3 as a property: ∆ ≤ 6 and interference always hold."""
+    p = random_tree_problem(n=n, m=m, r=1, seed=seed)
+    td = ideal_decomposition(p.networks[0])
+    ld = tree_layers(td, p.instances())
+    assert ld.delta <= 6
+    check_layered_decomposition(ld, _tree_edges_of(p))
+
+
+@given(
+    n_slots=st.integers(min_value=4, max_value=50),
+    m=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_line_layers_interference_property_random(n_slots, m, seed):
+    p = random_line_problem(n_slots=n_slots, m=m, r=1, seed=seed,
+                            max_len=max(1, n_slots // 2))
+    insts = p.instances()
+    ld = line_layers(insts)
+    assert ld.delta <= 3
+    from repro.decomposition.layered import LayeredDecomposition
+
+    gl = LayeredDecomposition(
+        groups=ld.groups,
+        critical={
+            iid: tuple((insts[iid].network_id, t) for t in crit)
+            for iid, crit in ld.critical.items()
+        },
+    )
+    check_layered_decomposition(gl, {
+        d.instance_id: frozenset((d.network_id, t) for t in range(d.start, d.end + 1))
+        for d in insts
+    })

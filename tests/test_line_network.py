@@ -1,0 +1,78 @@
+"""Tests for the line-network substrate and the line↔tree reduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LineNetwork, line_as_tree
+from repro.network.line import interval_to_endpoints
+
+
+class TestLineNetwork:
+    def test_basic(self):
+        ln = LineNetwork(10)
+        assert ln.n_slots == 10
+        ln.validate_interval((0, 9))
+        ln.validate_interval((3, 3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LineNetwork(0)
+
+    def test_rejects_bad_interval(self):
+        ln = LineNetwork(5)
+        for bad in [(-1, 2), (0, 5), (3, 2)]:
+            with pytest.raises(ValueError):
+                ln.validate_interval(bad)
+
+    def test_overlaps(self):
+        assert LineNetwork.overlaps((0, 3), (3, 5))
+        assert LineNetwork.overlaps((2, 2), (0, 4))
+        assert not LineNetwork.overlaps((0, 2), (3, 5))
+
+    def test_length_and_midpoint(self):
+        assert LineNetwork.length((2, 5)) == 4
+        assert LineNetwork.midpoint((2, 5)) == 3
+        assert LineNetwork.midpoint((2, 2)) == 2
+
+    def test_slots(self):
+        ln = LineNetwork(8)
+        assert list(ln.slots((2, 4))) == [2, 3, 4]
+
+
+class TestLineTreeReduction:
+    def test_line_as_tree_shape(self):
+        ln = LineNetwork(5, network_id=3)
+        t = line_as_tree(ln)
+        assert t.n == 6
+        assert t.network_id == 3
+        assert t.has_edge(0, 1) and t.has_edge(4, 5)
+
+    @given(
+        n_slots=st.integers(min_value=1, max_value=30),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_iff_paths_share_edge(self, n_slots, data):
+        """Interval overlap on the timeline == edge intersection on the path
+        graph (Section 1's reformulation)."""
+        ln = LineNetwork(n_slots)
+        t = line_as_tree(ln)
+        iv = st.tuples(
+            st.integers(min_value=0, max_value=n_slots - 1),
+            st.integers(min_value=0, max_value=n_slots - 1),
+        ).map(lambda p: (min(p), max(p)))
+        a, b = data.draw(iv), data.draw(iv)
+        ua, va = interval_to_endpoints(a)
+        ub, vb = interval_to_endpoints(b)
+        shared = set(t.path_edges(ua, va)) & set(t.path_edges(ub, vb))
+        assert LineNetwork.overlaps(a, b) == bool(shared)
+
+    def test_interval_slot_count_matches_path_length(self):
+        ln = LineNetwork(12)
+        t = line_as_tree(ln)
+        for (s, e) in [(0, 0), (2, 7), (0, 11)]:
+            u, v = interval_to_endpoints((s, e))
+            assert len(t.path_edges(u, v)) == LineNetwork.length((s, e))

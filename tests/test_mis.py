@@ -1,0 +1,93 @@
+"""Tests for the MIS primitives (Luby simulation + greedy reference)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.mis import greedy_mis, is_maximal_independent_set, luby_mis
+
+
+def random_graph(n: int, p: float, seed: int) -> dict[int, set]:
+    rng = np.random.default_rng(seed)
+    adj: dict[int, set] = {v: set() for v in range(n)}
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < p:
+                adj[a].add(b)
+                adj[b].add(a)
+    return adj
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_produces_mis(self, seed):
+        adj = random_graph(60, 0.1, seed)
+        mis, rounds = luby_mis(adj, np.random.default_rng(seed))
+        assert is_maximal_independent_set(adj, mis)
+        assert rounds >= 1
+
+    def test_empty_graph(self):
+        mis, rounds = luby_mis({}, np.random.default_rng(0))
+        assert mis == set() and rounds == 0
+
+    def test_no_edges_all_join(self):
+        adj = {v: set() for v in range(10)}
+        mis, rounds = luby_mis(adj, np.random.default_rng(0))
+        assert mis == set(range(10))
+        assert rounds == 1
+
+    def test_clique_one_survivor(self):
+        adj = {v: set(range(5)) - {v} for v in range(5)}
+        mis, _ = luby_mis(adj, np.random.default_rng(1))
+        assert len(mis) == 1
+
+    def test_rounds_logarithmic_on_average(self):
+        # Luby terminates in O(log N) rounds w.h.p.; sanity-check the
+        # constant is civilised on a 300-vertex random graph.
+        adj = random_graph(300, 0.05, 7)
+        rounds = [luby_mis(adj, np.random.default_rng(s))[1] for s in range(10)]
+        assert max(rounds) <= 40
+
+    def test_deterministic_given_seed(self):
+        adj = random_graph(40, 0.2, 3)
+        a, _ = luby_mis(adj, np.random.default_rng(42))
+        b, _ = luby_mis(adj, np.random.default_rng(42))
+        assert a == b
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_produces_mis(self, seed):
+        adj = random_graph(60, 0.1, seed)
+        mis, rounds = greedy_mis(adj)
+        assert is_maximal_independent_set(adj, mis)
+        assert rounds == 1
+
+    def test_lexicographically_first(self):
+        # Path 0-1-2-3: greedy by id takes {0, 2}.
+        adj = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        mis, _ = greedy_mis(adj)
+        assert mis == {0, 2}
+
+    def test_custom_priority(self):
+        adj = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        mis, _ = greedy_mis(adj, priority=lambda v: -v)
+        assert mis == {3, 1}
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_both_backends_yield_mis(n, p, seed):
+    adj = random_graph(n, p, seed)
+    for mis, _ in (
+        luby_mis(adj, np.random.default_rng(seed)),
+        greedy_mis(adj),
+    ):
+        assert is_maximal_independent_set(adj, mis)

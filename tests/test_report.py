@@ -1,0 +1,95 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro import (
+    ideal_decomposition,
+    make_tree,
+    random_line_problem,
+    random_tree_problem,
+    solve_greedy,
+    solve_line_unit,
+    solve_tree_unit,
+)
+from repro.report import (
+    render_comparison,
+    render_decomposition,
+    render_gantt,
+    render_solution_summary,
+    render_tree,
+)
+
+
+class TestRenderTree:
+    def test_contains_all_vertices(self):
+        t = make_tree(12, "random", seed=1)
+        out = render_tree(t)
+        for v in range(12):
+            assert str(v) in out
+        assert out.splitlines()[0] == "0"
+
+    def test_path_shape(self):
+        t = make_tree(3, "path")
+        out = render_tree(t)
+        assert out.splitlines() == ["0", "└─ 1", "   └─ 2"]
+
+    def test_star_children(self):
+        t = make_tree(4, "star")
+        lines = render_tree(t).splitlines()
+        assert lines[0] == "0"
+        assert len(lines) == 4
+        assert lines[-1].startswith("└─")
+
+
+class TestRenderDecomposition:
+    def test_mentions_parameters(self):
+        td = ideal_decomposition(make_tree(16, "random", seed=2))
+        out = render_decomposition(td)
+        assert "depth=" in out and "θ=" in out
+        assert out.count("depth ") == td.max_depth
+
+
+class TestRenderGantt:
+    def test_lanes_disjoint(self):
+        p = random_line_problem(n_slots=30, m=12, r=1, seed=3, max_len=8)
+        sol = solve_line_unit(p, epsilon=0.2, seed=3)
+        chart = render_gantt(p, sol, network_id=0)
+        # Every selected instance appears exactly once; no overlap within
+        # a lane by construction.
+        for lane in chart.splitlines():
+            assert len(lane) == p.n_slots
+
+    def test_idle_resource(self):
+        p = random_line_problem(n_slots=10, m=2, r=2, seed=4)
+        sol = solve_line_unit(p, epsilon=0.2, seed=4,
+                              instance_filter=lambda d: False)
+        assert render_gantt(p, sol, network_id=0) == "(idle)"
+
+    def test_width_clamp(self):
+        p = random_line_problem(n_slots=30, m=10, r=1, seed=5, max_len=6)
+        sol = solve_line_unit(p, epsilon=0.2, seed=5)
+        chart = render_gantt(p, sol, network_id=0, width=10)
+        for lane in chart.splitlines():
+            assert len(lane) == 10
+
+
+class TestSummaries:
+    def test_solution_summary_fields(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=6)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=6)
+        out = render_solution_summary(sol)
+        assert "profit" in out and "rounds" in out and "λ" in out
+
+    def test_comparison_table(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=7)
+        a = solve_tree_unit(p, epsilon=0.2, seed=7)
+        g = solve_greedy(p)
+        out = render_comparison([("primal-dual", a), ("greedy", g)], opt=10.0)
+        assert "primal-dual" in out and "greedy" in out
+        assert "OPT/ALG" in out and "exact OPT" in out
+
+    def test_comparison_without_opt(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=8)
+        a = solve_tree_unit(p, epsilon=0.2, seed=8)
+        out = render_comparison([("alg", a)])
+        assert "OPT/ALG" not in out

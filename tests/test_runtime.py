@@ -1,0 +1,146 @@
+"""Tests for the agent-level protocol runtime (Section 5's distributed
+implementation): feasibility, engine equivalence, message-model fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    compile_tree,
+    random_tree_problem,
+    solve_optimal,
+    solve_tree_unit,
+    verify_tree_solution,
+)
+from repro.distributed.runtime import TreeUnitRuntime
+
+from tests.helpers import assert_bound
+
+
+def _keyset(sol):
+    return sorted((d.demand_id, d.network_id) for d in sol.selected)
+
+
+class TestRuntimeEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_engine_greedy_mis(self, seed):
+        """The agent protocol reproduces the engine bit-for-bit when both
+        use the priority (lex-first) MIS."""
+        p = random_tree_problem(n=14, m=9, r=2, seed=seed)
+        inp = compile_tree(p)
+        rt_sol = TreeUnitRuntime(p, epsilon=0.2, delta=inp.delta).run()
+        eng_sol = solve_tree_unit(p, epsilon=0.2, mis="greedy")
+        assert _keyset(rt_sol) == _keyset(eng_sol)
+        assert rt_sol.profit == pytest.approx(eng_sol.profit)
+
+    def test_matches_with_restricted_access(self):
+        p = random_tree_problem(n=12, m=8, r=3, seed=77, access_prob=0.6)
+        inp = compile_tree(p)
+        rt_sol = TreeUnitRuntime(p, epsilon=0.2, delta=inp.delta).run()
+        eng_sol = solve_tree_unit(p, epsilon=0.2, mis="greedy")
+        assert _keyset(rt_sol) == _keyset(eng_sol)
+
+
+class TestRuntimeProperties:
+    def test_feasible_and_within_bound(self):
+        p = random_tree_problem(n=16, m=10, r=2, seed=5)
+        sol = TreeUnitRuntime(p, epsilon=0.1).run()
+        verify_tree_solution(p, sol, unit_height=True)
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 7 / 0.9)
+
+    def test_message_and_round_accounting(self):
+        p = random_tree_problem(n=12, m=8, r=2, seed=6)
+        sol = TreeUnitRuntime(p, epsilon=0.2).run()
+        assert sol.stats["rounds"] > 0
+        assert sol.stats["messages"] > 0
+        assert sol.stats["steps"] > 0
+
+    def test_single_processor(self):
+        p = random_tree_problem(n=8, m=1, r=1, seed=7)
+        sol = TreeUnitRuntime(p, epsilon=0.2).run()
+        assert sol.size == 1
+
+    def test_disconnected_processors(self):
+        """Processors with disjoint access sets never talk but still
+        produce a globally feasible schedule."""
+        p = random_tree_problem(n=10, m=4, r=2, seed=8,
+                                access_prob=0.0)  # forces singleton access
+        sol = TreeUnitRuntime(p, epsilon=0.2).run()
+        verify_tree_solution(p, sol, unit_height=True)
+
+
+class TestLineRuntime:
+    """The generic protocol runtime applied to line networks (Thm 7.1)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_engine_greedy_mis(self, seed):
+        from repro import compile_line, random_line_problem, solve_line_unit
+        from repro.distributed.runtime import LineUnitRuntime
+
+        p = random_line_problem(n_slots=24, m=10, r=2, seed=seed, max_len=6)
+        rt_sol = LineUnitRuntime(p, epsilon=0.2).run()
+        eng_sol = solve_line_unit(p, epsilon=0.2, mis="greedy")
+        assert sorted(
+            (d.demand_id, d.network_id, d.start, d.end) for d in rt_sol.selected
+        ) == sorted(
+            (d.demand_id, d.network_id, d.start, d.end) for d in eng_sol.selected
+        )
+
+    def test_feasible_with_windows(self):
+        from repro import random_line_problem, verify_line_solution
+        from repro.distributed.runtime import LineUnitRuntime
+
+        p = random_line_problem(n_slots=30, m=12, r=2, seed=9,
+                                window_slack=1.5, max_len=6)
+        sol = LineUnitRuntime(p, epsilon=0.15).run()
+        verify_line_solution(p, sol, unit_height=True)
+
+    def test_within_theorem71_bound(self):
+        from repro import random_line_problem, solve_optimal
+        from repro.distributed.runtime import LineUnitRuntime
+
+        p = random_line_problem(n_slots=24, m=12, r=1, seed=10, max_len=6)
+        sol = LineUnitRuntime(p, epsilon=0.1).run()
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 4 / 0.9)
+
+
+class TestNarrowRuntime:
+    """The agent protocol under the Section 6.1 narrow rule."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_engine(self, seed):
+        from repro import EngineConfig, TwoPhaseEngine, compile_tree, random_tree_problem
+        from repro.distributed.runtime import TreeNarrowRuntime
+
+        p = random_tree_problem(n=14, m=10, r=2, seed=seed,
+                                height_regime="narrow", hmin=0.15)
+        hmin = min(a.height for a in p.demands)
+        rt_sol = TreeNarrowRuntime(p, epsilon=0.2, hmin=hmin).run()
+
+        inp = compile_tree(p, instance_filter=lambda d: d.narrow)
+        cfg = EngineConfig(rule="narrow", epsilon=0.2, hmin=hmin,
+                           mis="greedy", capacity_phase2=True)
+        selected, _ = TwoPhaseEngine(inp, cfg).run()
+        assert sorted((d.demand_id, d.network_id) for d in rt_sol.selected) \
+            == sorted((d.demand_id, d.network_id) for d in selected)
+
+    def test_feasible_capacity_packing(self):
+        from repro import random_tree_problem, verify_tree_solution
+        from repro.distributed.runtime import TreeNarrowRuntime
+
+        p = random_tree_problem(n=16, m=14, r=1, seed=9,
+                                height_regime="narrow", hmin=0.1)
+        sol = TreeNarrowRuntime(p, epsilon=0.2).run()
+        verify_tree_solution(p, sol, unit_height=False)
+
+    def test_within_lemma62_bound(self):
+        from repro import random_tree_problem, solve_optimal
+        from repro.distributed.runtime import TreeNarrowRuntime
+
+        p = random_tree_problem(n=14, m=10, r=1, seed=10,
+                                height_regime="narrow", hmin=0.2)
+        sol = TreeNarrowRuntime(p, epsilon=0.1).run()
+        opt = solve_optimal(p)
+        assert_bound(sol.profit, opt.profit, 73 / 0.9)

@@ -1,0 +1,77 @@
+"""Tests for the fixed distributed round schedule (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import random_line_problem, random_tree_problem, solve_line_unit, solve_tree_unit
+from repro.algorithms.schedule import (
+    RoundSchedule,
+    line_unit_schedule,
+    narrow_schedule,
+    scheduled_rounds,
+    tree_unit_schedule,
+)
+
+
+class TestScheduleArithmetic:
+    def test_round_composition(self):
+        s = RoundSchedule(epochs=3, stages_per_epoch=2, steps_per_stage=4,
+                          time_mis=5)
+        assert s.total_steps == 24
+        assert s.phase1_rounds == 24 * 6
+        assert s.phase2_rounds == 24
+        assert s.total_rounds == 24 * 7
+
+    def test_tree_epochs_logarithmic(self):
+        a = tree_unit_schedule(64, 0.1, 8.0, 1.0, time_mis=1)
+        b = tree_unit_schedule(1024, 0.1, 8.0, 1.0, time_mis=1)
+        assert b.epochs - a.epochs == 2 * 4  # 2 per doubling
+
+    def test_line_epochs_track_length_ratio(self):
+        s = line_unit_schedule(1, 16, 0.1, 4.0, 1.0, time_mis=1)
+        assert s.epochs == 5  # buckets [1,2), [2,4), [4,8), [8,16), [16,32)
+
+    def test_narrow_stage_inflation(self):
+        coarse = narrow_schedule(10, 0.1, hmin=0.5, pmax=4, pmin=1, delta=6,
+                                 time_mis=1)
+        fine = narrow_schedule(10, 0.1, hmin=0.05, pmax=4, pmin=1, delta=6,
+                               time_mis=1)
+        assert fine.stages_per_epoch > 5 * coarse.stages_per_epoch
+
+    def test_uniform_profits_single_step(self):
+        s = tree_unit_schedule(16, 0.1, 3.0, 3.0, time_mis=1)
+        assert s.steps_per_stage == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            tree_unit_schedule(0, 0.1, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            line_unit_schedule(0, 4, 0.1, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            tree_unit_schedule(8, 0.1, 1.0, 2.0)
+
+
+class TestScheduleDominatesAdaptiveRun:
+    """The adaptive engine must never exceed the fixed worst-case budget
+    — otherwise the paper's synchronization argument would break."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree(self, seed):
+        p = random_tree_problem(n=24, m=20, r=2, seed=seed, profit_ratio=16.0)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=seed)
+        assert sol.stats["total_rounds"] <= scheduled_rounds(p, 0.2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_line(self, seed):
+        p = random_line_problem(n_slots=30, m=14, r=2, seed=seed, max_len=8)
+        sol = solve_line_unit(p, epsilon=0.2, seed=seed)
+        assert sol.stats["total_rounds"] <= scheduled_rounds(p, 0.2)
+
+    def test_budget_grows_polylogarithmically(self):
+        # 16× more vertices/demands costs ~(log growth)² ≈ 2.2× here
+        # (epochs × Time(MIS) are each a log factor) — far below the 16×
+        # a linear-round algorithm would pay.
+        small = random_tree_problem(n=256, m=256, r=1, seed=9, profit_ratio=8.0)
+        big = random_tree_problem(n=4096, m=4096, r=1, seed=9, profit_ratio=8.0)
+        assert scheduled_rounds(big, 0.1) < 3 * scheduled_rounds(small, 0.1)

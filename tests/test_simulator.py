@@ -1,0 +1,95 @@
+"""Tests for the synchronous message-passing simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.messages import Kind, Message
+from repro.distributed.simulator import ProcessorBase, RoundContext, SyncSimulator
+
+
+class Echo(ProcessorBase):
+    """Sends one greeting to every neighbour, then echoes what it hears."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.heard: list[int] = []
+        self.greeted = False
+
+    def on_round(self, ctx: RoundContext, inbox):
+        for msg in inbox:
+            self.heard.append(msg.sender)
+        if not self.greeted:
+            ctx.broadcast(Kind.CANDIDATE, self.pid)
+            self.greeted = True
+        self.wants_round = False
+
+
+def triangle():
+    graph = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+    procs = {pid: Echo(pid) for pid in graph}
+    return SyncSimulator(graph, procs), procs
+
+
+class TestSimulator:
+    def test_delivery_next_round(self):
+        sim, procs = triangle()
+        sim.step_round()  # everyone greets
+        assert all(not p.heard for p in procs.values())
+        sim.step_round()  # greetings delivered
+        assert sorted(procs[0].heard) == [1, 2]
+
+    def test_run_phase_quiesces(self):
+        sim, procs = triangle()
+        used = sim.run_phase("greet")
+        assert used == 2  # greet round + delivery round
+        assert not sim.step_round()
+
+    def test_message_count(self):
+        sim, _ = triangle()
+        sim.run_phase("greet")
+        assert sim.stats.messages == 6  # 3 processors × 2 neighbours
+
+    def test_non_neighbor_send_rejected(self):
+        graph = {0: {1}, 1: {0}, 2: set()}
+
+        class Bad(ProcessorBase):
+            def on_round(self, ctx, inbox):
+                ctx.send(2, Kind.CANDIDATE, None)
+
+        sim = SyncSimulator(graph, {0: Bad(0), 1: Echo(1), 2: Echo(2)})
+        with pytest.raises(RuntimeError, match="share no resource"):
+            sim.step_round()
+
+    def test_asymmetric_graph_rejected(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            SyncSimulator({0: {1}, 1: set()}, {0: Echo(0), 1: Echo(1)})
+
+    def test_pid_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same pids"):
+            SyncSimulator({0: set()}, {1: Echo(1)})
+
+    def test_phase_ledger(self):
+        sim, _ = triangle()
+        sim.run_phase("a")
+        assert sim.stats.per_phase["a"] == 2
+
+    def test_inbox_isolated_per_processor(self):
+        graph = {0: {1}, 1: {0}, 2: {3}, 3: {2}}
+
+        class Once(ProcessorBase):
+            def __init__(self, pid):
+                super().__init__(pid)
+                self.heard = []
+
+            def on_round(self, ctx, inbox):
+                self.heard.extend(m.sender for m in inbox)
+                if self.pid == 0 and not inbox:
+                    ctx.send(1, Kind.CANDIDATE, None)
+                self.wants_round = False
+
+        procs = {pid: Once(pid) for pid in graph}
+        sim = SyncSimulator(graph, procs)
+        sim.run_phase("x")
+        assert procs[1].heard == [0]
+        assert procs[2].heard == [] and procs[3].heard == []

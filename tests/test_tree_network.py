@@ -1,0 +1,217 @@
+"""Unit tests for the tree-network substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TreeNetwork, make_tree
+from repro.network.tree import edge_key
+
+
+# ---------------------------------------------------------------------------
+# Construction and validation
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        t = TreeNetwork(1, [])
+        assert t.n == 1
+        assert t.edges == frozenset()
+
+    def test_simple_path(self):
+        t = TreeNetwork(3, [(0, 1), (1, 2)])
+        assert t.has_edge(0, 1)
+        assert t.has_edge(2, 1)
+        assert not t.has_edge(0, 2)
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(ValueError, match="needs 2 edges"):
+            TreeNetwork(3, [(0, 1)])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError, match="duplicate|not connected|needs"):
+            TreeNetwork(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_disconnected(self):
+        # 5 vertices, 4 edges, but two components (one contains a cycle).
+        with pytest.raises(ValueError, match="not connected"):
+            TreeNetwork(5, [(0, 1), (2, 3), (3, 4), (4, 2)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            TreeNetwork(2, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TreeNetwork(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of vertex range"):
+            TreeNetwork(2, [(0, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one vertex"):
+            TreeNetwork(0, [])
+
+    def test_degree_and_neighbors(self):
+        t = TreeNetwork(4, [(0, 1), (0, 2), (0, 3)])
+        assert t.degree(0) == 3
+        assert set(t.neighbors(0)) == {1, 2, 3}
+        assert t.degree(1) == 1
+
+
+# ---------------------------------------------------------------------------
+# Paths, LCA, medians, wings
+# ---------------------------------------------------------------------------
+
+
+class TestPaths:
+    def test_path_on_path_graph(self):
+        t = TreeNetwork(5, [(i, i + 1) for i in range(4)])
+        assert t.path_vertices(0, 4) == [0, 1, 2, 3, 4]
+        assert t.path_vertices(3, 1) == [3, 2, 1]
+        assert t.path_edges(1, 3) == [(1, 2), (2, 3)]
+
+    def test_path_endpoints_equal(self):
+        t = TreeNetwork(3, [(0, 1), (1, 2)])
+        assert t.path_vertices(1, 1) == [1]
+        assert t.path_edges(1, 1) == []
+
+    def test_distance(self):
+        t = make_tree(20, "binary", seed=0)
+        for u in range(20):
+            for v in range(20):
+                assert t.distance(u, v) == len(t.path_edges(u, v))
+
+    def test_median_on_star(self):
+        t = TreeNetwork(4, [(0, 1), (0, 2), (0, 3)])
+        assert t.median(1, 2, 3) == 0
+        assert t.median(1, 2, 0) == 0
+        assert t.median(1, 1, 2) == 1
+
+    def test_bending_point(self, paper_tree):
+        # Paper Figure 6 (0-based): demand ⟨4,13⟩ → (3, 12); bending
+        # point w.r.t. node 3 (paper's 3 → ours 2) is paper 2 → ours 1;
+        # w.r.t. paper 9 (ours 8) it is paper 5 → ours 4.
+        assert paper_tree.bending_point(2, (3, 12)) == 1
+        assert paper_tree.bending_point(8, (3, 12)) == 4
+
+    def test_wings(self, paper_tree):
+        # Node 4 (paper) = ours 3 is an endpoint: one wing ⟨4,2⟩ = (1,3).
+        assert paper_tree.wings(3, (3, 12)) == [edge_key(3, 1)]
+        # Node 8 (paper) = ours 7 is interior: wings ⟨5,8⟩ and ⟨8,13⟩.
+        wings = set(paper_tree.wings(7, (3, 12)))
+        assert wings == {edge_key(4, 7), edge_key(7, 12)}
+
+    def test_wings_rejects_off_path(self, paper_tree):
+        with pytest.raises(ValueError, match="not on the path"):
+            paper_tree.wings(9, (3, 12))
+
+    def test_lca_against_networkx(self):
+        t = make_tree(40, "random", seed=7)
+        g = t.to_networkx()
+        for u, v in [(0, 39), (5, 17), (20, 20), (3, 30)]:
+            expected = nx.shortest_path(g, u, v)
+            assert t.path_vertices(u, v) == expected
+
+
+# ---------------------------------------------------------------------------
+# Components, splits, balancers
+# ---------------------------------------------------------------------------
+
+
+class TestComponents:
+    def test_split_component(self):
+        t = TreeNetwork(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        pieces = t.split_component(2, set(range(5)))
+        assert sorted(sorted(p) for p in pieces) == [[0, 1], [3, 4]]
+
+    def test_split_requires_membership(self):
+        t = TreeNetwork(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match="not in component"):
+            t.split_component(2, {0, 1})
+
+    def test_component_neighbors(self):
+        t = TreeNetwork(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert t.component_neighbors({1, 2}) == {0, 3}
+        assert t.component_neighbors({0, 1, 2, 3, 4}) == set()
+
+    def test_is_component(self):
+        t = TreeNetwork(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert t.is_component({1, 2, 3})
+        assert not t.is_component({0, 2})
+        assert not t.is_component(set())
+
+    def test_balancer_on_path(self):
+        t = TreeNetwork(7, [(i, i + 1) for i in range(6)])
+        z = t.find_balancer()
+        pieces = t.split_component(z, set(range(7)))
+        assert all(len(p) <= 3 for p in pieces)
+
+    @pytest.mark.parametrize("topology", ["path", "star", "caterpillar",
+                                          "binary", "random", "broom", "spider"])
+    def test_balancer_halves_every_topology(self, topology):
+        t = make_tree(33, topology, seed=3)
+        z = t.find_balancer()
+        pieces = t.split_component(z, set(range(33)))
+        assert all(len(p) <= 16 for p in pieces), topology
+
+    def test_balancer_on_sub_component(self):
+        t = make_tree(40, "random", seed=11)
+        comp = set(t.path_vertices(0, 20))
+        if len(comp) >= 2:
+            z = t.find_balancer(comp)
+            assert z in comp
+            pieces = t.split_component(z, comp)
+            assert all(len(p) <= len(comp) // 2 for p in pieces)
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_trees(draw, max_n: int = 40):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return make_tree(n, "random", seed=seed)
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_path_symmetry(t):
+    u, v = 0, t.n - 1
+    assert t.path_vertices(u, v) == t.path_vertices(v, u)[::-1]
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_median_lies_on_all_pairwise_paths(t, data):
+    pick = st.integers(min_value=0, max_value=t.n - 1)
+    a, b, c = data.draw(pick), data.draw(pick), data.draw(pick)
+    m = t.median(a, b, c)
+    for x, y in [(a, b), (b, c), (a, c)]:
+        assert m in t.path_vertices(x, y)
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_balancer_invariant(t):
+    z = t.find_balancer()
+    pieces = t.split_component(z, set(range(t.n)))
+    assert sum(len(p) for p in pieces) == t.n - 1
+    assert all(len(p) <= t.n // 2 for p in pieces)
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_path_edges_exist(t, data):
+    pick = st.integers(min_value=0, max_value=t.n - 1)
+    u, v = data.draw(pick), data.draw(pick)
+    for a, b in t.path_edges(u, v):
+        assert t.has_edge(a, b)

@@ -1,0 +1,123 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import make_tree, random_line_problem, random_tree_problem
+from repro.workloads import TREE_TOPOLOGIES
+
+
+class TestMakeTree:
+    @pytest.mark.parametrize("topology", TREE_TOPOLOGIES)
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+    def test_valid_tree(self, topology, n):
+        t = make_tree(n, topology, seed=0)
+        assert t.n == n
+        assert len(t.edges) == n - 1  # TreeNetwork validated connectivity
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_tree(5, "hypercube")
+
+    def test_path_is_path(self):
+        t = make_tree(6, "path")
+        degrees = sorted(t.degree(v) for v in range(6))
+        assert degrees == [1, 1, 2, 2, 2, 2]
+
+    def test_star_is_star(self):
+        t = make_tree(6, "star")
+        assert t.degree(0) == 5
+
+    def test_random_trees_vary_with_seed(self):
+        a = make_tree(20, "random", seed=1)
+        b = make_tree(20, "random", seed=2)
+        assert a.edges != b.edges
+
+    def test_seeded_reproducibility(self):
+        a = make_tree(20, "random", seed=42)
+        b = make_tree(20, "random", seed=42)
+        assert a.edges == b.edges
+
+    def test_generator_object_advances(self):
+        rng = np.random.default_rng(0)
+        a = make_tree(15, "random", seed=rng)
+        b = make_tree(15, "random", seed=rng)
+        assert a.edges != b.edges  # same Generator, consumed sequentially
+
+
+class TestRandomTreeProblem:
+    def test_shapes(self):
+        p = random_tree_problem(n=20, m=15, r=3, seed=0)
+        assert p.num_demands == 15
+        assert p.num_networks == 3
+
+    @pytest.mark.parametrize("regime,lo,hi", [
+        ("unit", 1.0, 1.0),
+        ("narrow", 0.0, 0.5),
+        ("wide", 0.5, 1.0),
+        ("mixed", 0.0, 1.0),
+        ("bimodal", 0.0, 1.0),
+    ])
+    def test_height_regimes(self, regime, lo, hi):
+        p = random_tree_problem(n=16, m=30, r=1, seed=1,
+                                height_regime=regime, hmin=0.05)
+        for a in p.demands:
+            assert lo <= a.height <= hi + 1e-12
+
+    def test_unknown_regime(self):
+        with pytest.raises(ValueError, match="regime"):
+            random_tree_problem(n=10, m=5, seed=0, height_regime="gaussian")
+
+    def test_profit_ratio_respected(self):
+        p = random_tree_problem(n=16, m=50, r=1, seed=2, profit_ratio=5.0)
+        pmin, pmax = p.profit_range()
+        assert pmax / pmin <= 5.0 + 1e-9
+
+    def test_access_prob_zero_keeps_one(self):
+        p = random_tree_problem(n=10, m=8, r=3, seed=3, access_prob=0.0)
+        assert all(len(acc) == 1 for acc in p.access)
+
+    def test_locality_shortens_paths(self):
+        far = random_tree_problem(n=64, m=40, r=1, seed=4, topology="path")
+        near = random_tree_problem(n=64, m=40, r=1, seed=4, topology="path",
+                                   locality=0.1)
+        mean_len = lambda p: np.mean([len(d.path_edges) for d in p.instances()])
+        assert mean_len(near) < mean_len(far)
+
+
+class TestRandomLineProblem:
+    def test_lengths_in_range(self):
+        p = random_line_problem(n_slots=40, m=30, r=1, seed=0, min_len=3,
+                                max_len=9)
+        for a in p.demands:
+            assert 3 <= a.proc_time <= 9
+
+    def test_windows_inside_timeline(self):
+        p = random_line_problem(n_slots=25, m=40, r=2, seed=1, window_slack=2.0)
+        for a in p.demands:
+            assert 0 <= a.release <= a.deadline < 25
+
+    def test_zero_slack_pins(self):
+        p = random_line_problem(n_slots=30, m=20, r=1, seed=2, window_slack=0.0)
+        assert all(a.window_length == a.proc_time for a in p.demands)
+
+    def test_max_len_clamped_to_timeline(self):
+        p = random_line_problem(n_slots=6, m=10, r=1, seed=3, min_len=1,
+                                max_len=100)
+        assert all(a.proc_time <= 6 for a in p.demands)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    topology=st.sampled_from(list(TREE_TOPOLOGIES)),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_make_tree_always_valid(n, topology, seed):
+    t = make_tree(n, topology, seed=seed)
+    # TreeNetwork's constructor re-validates spanning-tree-ness.
+    assert t.n == n
