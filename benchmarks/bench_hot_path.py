@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Hot-path micro-benchmark driver.
+
+Times conflict-index construction/queries and batched dual raises on a
+~5k-demand line instance and a deep-tree instance, vectorized engine core
+vs the frozen scalar reference (``tests/helpers.py``), and writes
+``BENCH_hotpath.json`` at the repo root so later PRs can track the perf
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py [--smoke] [-o OUT]
+
+``--smoke`` shrinks the instances for CI; the full run asserts the ≥5×
+speedup the vectorization refactor claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_ROOT, os.path.join(_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small instances (CI); skip the 5x assertion")
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(_ROOT, "BENCH_hotpath.json"))
+    args = parser.parse_args(argv)
+
+    from tests import helpers as scalar_reference
+    from repro.runners.hotpath import run_hotpath_bench
+
+    report = run_hotpath_bench(
+        smoke=args.smoke, out_path=args.output, scalar=scalar_reference
+    )
+    for name, case in report["cases"].items():
+        print(
+            f"{name:>5}: {case['instances']} instances, pop {case['population']}"
+            f" | conflict x{case['speedup_conflict']:.1f}"
+            f" | duals x{case['speedup_duals']:.1f}"
+            f" | total x{case['speedup']:.1f}"
+        )
+    print(f"combined speedup: x{report['combined_speedup']:.1f}"
+          f"  (written to {args.output})")
+
+    if not args.smoke and report["combined_speedup"] < 5.0:
+        print("FAIL: combined speedup below the required 5x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,43 @@ from typing import Sequence
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
+def run_solver(name: str, problem, **kwargs):
+    """Run a registry solver by name (the benchmark-facing dispatch).
+
+    Thin wrapper over :func:`repro.algorithms.registry.solve`, so
+    benchmarks reference algorithms by their stable registry names
+    instead of importing constructors.
+    """
+    from repro.algorithms import registry
+
+    return registry.solve(name, problem, **kwargs)
+
+
+def run_jobs(jobs, processes: int | None = 1, cache_dir: str | None = None):
+    """Run a job list through the parallel :class:`BatchRunner`.
+
+    ``jobs`` are ``(problem, solver_name, params, seed)`` tuples or
+    :class:`repro.runners.Job` objects; problems given as objects are
+    serialised in-process.  Defaults to inline execution (deterministic)
+    — pass ``processes=None`` to use every core.
+    """
+    from repro.io import problem_to_dict
+    from repro.runners import BatchRunner, Job
+
+    normalized = []
+    for job in jobs:
+        if isinstance(job, Job):
+            normalized.append(job)
+            continue
+        problem, solver, params, seed = job
+        if not isinstance(problem, (str, dict)):
+            problem = problem_to_dict(problem)
+        normalized.append(
+            Job(problem=problem, solver=solver, params=dict(params), seed=seed)
+        )
+    return BatchRunner(processes=processes, cache_dir=cache_dir).run(normalized)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     """Fixed-width ASCII table."""
     cells = [[str(h) for h in headers]] + [

@@ -80,23 +80,28 @@ from .report import (
     render_decomposition,
     render_gantt,
     render_solution_summary,
+    render_sweep,
     render_tree,
 )
+from .runners import BatchRunner, Job, RunResult
 from .workloads import TREE_TOPOLOGIES, make_tree, random_line_problem, random_tree_problem
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRunner",
     "ConflictIndex",
     "Demand",
     "DualState",
     "EngineConfig",
     "EngineInput",
     "FeasibilityError",
+    "Job",
     "LayeredDecomposition",
     "LineDemandInstance",
     "LineNetwork",
     "LineProblem",
+    "RunResult",
     "Solution",
     "TreeDecomposition",
     "TreeDemandInstance",
@@ -119,6 +124,7 @@ __all__ = [
     "render_decomposition",
     "render_gantt",
     "render_solution_summary",
+    "render_sweep",
     "render_tree",
     "save_problem",
     "save_solution",

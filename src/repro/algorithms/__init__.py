@@ -1,6 +1,8 @@
 """Algorithms: the paper's distributed solvers, baselines, and exact optima."""
 
+from . import registry
 from .compile import compile_line, compile_tree
+from .engine import EpochSchedule, PhaseOneEngine, PhaseTwoGreedy, StageRule
 from .exact import brute_force_optimal, lp_upper_bound, solve_optimal
 from .framework import (
     EngineConfig,
@@ -13,7 +15,11 @@ from .framework import (
 )
 from .greedy import solve_greedy
 from .line_windows import solve_line_arbitrary, solve_line_narrow, solve_line_unit
-from .panconesi_sozio import solve_ps_line_arbitrary, solve_ps_line_unit
+from .panconesi_sozio import (
+    solve_ps_baseline,
+    solve_ps_line_arbitrary,
+    solve_ps_line_unit,
+)
 from .sequential_tree import solve_sequential_tree
 from .tree_arbitrary import (
     combine_by_network,
@@ -26,6 +32,10 @@ __all__ = [
     "EngineConfig",
     "EngineInput",
     "EngineStats",
+    "EpochSchedule",
+    "PhaseOneEngine",
+    "PhaseTwoGreedy",
+    "StageRule",
     "TwoPhaseEngine",
     "brute_force_optimal",
     "combine_by_network",
@@ -33,11 +43,13 @@ __all__ = [
     "compile_tree",
     "lp_upper_bound",
     "narrow_xi",
+    "registry",
     "solve_greedy",
     "solve_line_arbitrary",
     "solve_line_narrow",
     "solve_line_unit",
     "solve_optimal",
+    "solve_ps_baseline",
     "solve_ps_line_arbitrary",
     "solve_ps_line_unit",
     "solve_sequential_tree",

@@ -96,6 +96,7 @@ def compile_tree(
         critical=critical,
         groups=groups,
         delta=delta if delta else TREE_DELTA,
+        networks=problem.networks,
     )
 
 

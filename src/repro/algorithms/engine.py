@@ -1,0 +1,277 @@
+"""Composable pieces of the two-phase primal-dual engine.
+
+The monolithic engine loop of the original ``framework`` module is split
+into four orthogonal components so solver variants are *data*, not code:
+
+* :class:`EpochSchedule` — the per-epoch stage targets ``1 - ξ^j`` (or a
+  single fixed Panconesi–Sozio-style target);
+* :class:`StageRule` — which raising rule a stage applies (Section 3.2's
+  unit rule or Section 6.1's narrow rule, with or without α);
+* :class:`PhaseOneEngine` — epochs × stages × MIS-and-raise steps over
+  the layered groups, with the distributed round ledger;
+* :class:`PhaseTwoGreedy` — the greedy stack unwind, packing either
+  edge-disjointly or by height capacities through an incremental
+  :class:`~repro.core.conflict.ActiveConflictSet`.
+
+:class:`~repro.algorithms.framework.TwoPhaseEngine` composes the four;
+the solver registry maps algorithm names onto configurations of them.
+All hot-path arithmetic (unsatisfied filters, MIS raises, feasibility
+probes) runs through the vectorized core primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core.conflict import ConflictIndex
+from ..core.duals import DualState
+from ..distributed.mis import greedy_mis, luby_mis, priority_mis
+
+__all__ = [
+    "EpochSchedule",
+    "StageRule",
+    "PhaseOneEngine",
+    "PhaseTwoGreedy",
+    "EngineStats",
+    "unit_xi",
+    "narrow_xi",
+    "stage_count",
+]
+
+_EPS = 1e-12
+
+
+def unit_xi(delta: int) -> float:
+    """Per-stage shrink ξ = 2∆′/(2∆′+1), ∆′ = ∆+1 (Section 5).
+
+    ∆ = 6 gives 14/15 (trees); ∆ = 3 gives 8/9 (lines).
+    """
+    dprime = delta + 1
+    return (2.0 * dprime) / (2.0 * dprime + 1.0)
+
+
+def narrow_xi(delta: int, hmin: float) -> float:
+    """ξ = c/(c + hmin) with c = 1 + 2∆² (Section 6's "suitable constant").
+
+    Chosen so the kill-chain argument of Lemma 5.1 doubles profits: a
+    raise of ``d1`` contributes at least ``2·hmin·|π|·δ ≥ 2·hmin·δ`` (or
+    ``δ`` via the shared α) to a conflicting ``d2``'s LHS, and
+    ``δ ≥ ξ^j p(d1)/(1+2∆²)``; requiring the stage gap
+    ``(ξ^{j-1}-ξ^j)p(d2)`` to absorb that forces ``p(d2) ≥ 2·p(d1)``
+    exactly when ``ξ/(1-ξ) = (1+2∆²)/hmin``.
+    """
+    if not (0.0 < hmin <= 0.5):
+        raise ValueError(f"hmin must lie in (0, 1/2], got {hmin}")
+    c = 1.0 + 2.0 * delta * delta
+    return c / (c + hmin)
+
+
+def stage_count(xi: float, epsilon: float) -> int:
+    """Smallest ``b`` with ``ξ^b ≤ ε`` (the stages-per-epoch schedule)."""
+    if not (0.0 < epsilon < 1.0):
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if not (0.0 < xi < 1.0):
+        raise ValueError(f"xi must lie in (0, 1), got {xi}")
+    b = int(np.ceil(np.log(epsilon) / np.log(xi)))
+    return max(b, 1)
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """The satisfaction targets every epoch runs through, in order."""
+
+    targets: tuple[float, ...]
+
+    @classmethod
+    def multi_stage(cls, xi: float, epsilon: float) -> "EpochSchedule":
+        """The paper's gradual schedule: targets ``1 - ξ^j``, j = 1..b."""
+        b = stage_count(xi, epsilon)
+        return cls(tuple(1.0 - xi**j for j in range(1, b + 1)))
+
+    @classmethod
+    def single_stage(cls, target: float) -> "EpochSchedule":
+        """Panconesi–Sozio style: one fixed target per epoch."""
+        return cls((target,))
+
+    @classmethod
+    def for_rule(
+        cls,
+        rule: str,
+        delta: int,
+        epsilon: float,
+        hmin: float = 0.5,
+        xi: float | None = None,
+        single_stage_target: float | None = None,
+    ) -> "EpochSchedule":
+        """Resolve the schedule exactly as the theorems prescribe."""
+        if single_stage_target is not None:
+            return cls.single_stage(single_stage_target)
+        if xi is None:
+            xi = unit_xi(delta) if rule == "unit" else narrow_xi(delta, hmin)
+        return cls.multi_stage(xi, epsilon)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+
+@dataclass(frozen=True)
+class StageRule:
+    """The raising rule a stage applies to its MIS."""
+
+    rule: Literal["unit", "narrow"] = "unit"
+    include_alpha: bool = True
+
+    def raise_mis(self, duals: DualState, iids: np.ndarray) -> np.ndarray:
+        """Raise a whole MIS to tightness; returns the per-instance δ."""
+        if self.rule == "unit":
+            return duals.raise_unit_batch(iids, self.include_alpha)
+        return duals.raise_narrow_batch(iids)
+
+
+@dataclass
+class EngineStats:
+    """Run ledger: everything the complexity theorems talk about."""
+
+    epochs: int = 0
+    stages: int = 0
+    steps: int = 0
+    mis_rounds: int = 0
+    phase1_rounds: int = 0
+    phase2_rounds: int = 0
+    raises: int = 0
+    steps_per_stage: list[int] = field(default_factory=list)
+    dual_objective: float = 0.0
+    realized_lambda: float = 0.0
+    opt_upper_bound: float = 0.0
+    delta: int = 0
+    stage_schedule: list[float] = field(default_factory=list)
+
+    @property
+    def total_rounds(self) -> int:
+        """Distributed rounds: phase 1 (MIS + broadcast per step) + phase 2."""
+        return self.phase1_rounds + self.phase2_rounds
+
+    @property
+    def max_steps_in_a_stage(self) -> int:
+        """Largest step count of any (epoch, stage) — Lemma 5.1's L."""
+        return max(self.steps_per_stage, default=0)
+
+
+class PhaseOneEngine:
+    """Epochs of MIS-and-raise steps over the layered groups.
+
+    Parameters
+    ----------
+    groups:
+        The epoch schedule ``G_1, G_2, ...`` (instance-id lists).
+    conflicts / duals:
+        The shared core structures; ``duals`` must have the critical
+        sets registered (see :meth:`~repro.core.duals.DualState.set_critical`).
+    schedule / rule:
+        Stage targets and raising rule.
+    mis:
+        ``"luby"`` (round-faithful, randomized), ``"greedy"``
+        (deterministic, fast, counted as 1 round/step), or
+        ``"priority"`` (deterministic *and* round-faithful).
+    rng:
+        Random source for Luby.
+    max_steps:
+        Safety valve per stage (the kill-chain bound of Lemma 5.1 keeps
+        real runs far below it; hitting it is a bug).
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[int]],
+        conflicts: ConflictIndex,
+        duals: DualState,
+        schedule: EpochSchedule,
+        rule: StageRule,
+        mis: str = "luby",
+        rng: np.random.Generator | None = None,
+        max_steps: int = 100_000,
+    ):
+        self.groups = groups
+        self.conflicts = conflicts
+        self.duals = duals
+        self.schedule = schedule
+        self.rule = rule
+        self.mis = mis
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_steps = max_steps
+
+    def _mis(self, population: set[int]) -> tuple[set[int], int]:
+        adj = self.conflicts.subgraph(population)
+        if self.mis == "greedy":
+            return greedy_mis(adj)
+        if self.mis == "priority":
+            return priority_mis(adj)
+        return luby_mis(adj, self.rng)
+
+    def run(self, stats: EngineStats) -> list[list[int]]:
+        """Execute the first phase; returns the raise stack."""
+        stack: list[list[int]] = []
+        duals = self.duals
+        for group in self.groups:
+            stats.epochs += 1
+            if not group:
+                continue
+            group_arr = np.asarray(group, dtype=np.int64)
+            group_plan = duals.make_plan(group_arr)
+            for target in self.schedule.targets:
+                stats.stages += 1
+                stage_steps = 0
+                while True:
+                    mask = duals.unsatisfied_mask(
+                        group_arr, target, _EPS, plan=group_plan
+                    )
+                    if not mask.any():
+                        break
+                    unsat = set(group_arr[mask].tolist())
+                    mis, rounds = self._mis(unsat)
+                    mis_sorted = sorted(mis)
+                    self.rule.raise_mis(
+                        duals, np.asarray(mis_sorted, dtype=np.int64)
+                    )
+                    stats.raises += len(mis_sorted)
+                    stack.append(mis_sorted)
+                    stats.steps += 1
+                    stage_steps += 1
+                    stats.mis_rounds += rounds
+                    stats.phase1_rounds += rounds + 1
+                    if stage_steps > self.max_steps:
+                        raise RuntimeError(
+                            f"stage exceeded {self.max_steps} steps — the "
+                            "kill-chain bound should prevent this"
+                        )
+                stats.steps_per_stage.append(stage_steps)
+        return stack
+
+
+class PhaseTwoGreedy:
+    """Pop the raise stack in reverse; insert while feasibility permits.
+
+    Feasibility is probed against an incremental
+    :class:`~repro.core.conflict.ActiveConflictSet` — one batched query
+    per popped step (the members of a step are pairwise non-conflicting,
+    so their probes are independent) instead of a per-pair rebuild.
+    """
+
+    def __init__(self, conflicts: ConflictIndex, capacities: bool = False):
+        self.conflicts = conflicts
+        self.capacities = capacities
+
+    def run(self, stack: Sequence[Sequence[int]], stats: EngineStats) -> list[int]:
+        """Returns the chosen instance ids, in selection order."""
+        active = self.conflicts.active_set(capacities=self.capacities)
+        chosen: list[int] = []
+        for group in reversed(stack):
+            stats.phase2_rounds += 1
+            arr = np.asarray(group, dtype=np.int64)
+            keep = arr[~active.blocked_mask(arr)]
+            active.add_all(keep)
+            chosen.extend(keep.tolist())
+        return chosen

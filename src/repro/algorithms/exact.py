@@ -20,6 +20,7 @@ from scipy import optimize
 
 from ..core.solution import Solution
 from ..lp.model import build_lp
+from .registry import register
 
 __all__ = ["lp_upper_bound", "solve_optimal", "brute_force_optimal"]
 
@@ -44,6 +45,12 @@ def lp_upper_bound(problem) -> float:
     return float(-res.fun)
 
 
+@register(
+    "exact",
+    family="any",
+    description="integral optimum via MILP (HiGHS branch-and-cut)",
+    accepts=("time_limit",),
+)
 def solve_optimal(problem, *, time_limit: float | None = None) -> Solution:
     """Integral optimum via MILP (HiGHS branch-and-cut).
 

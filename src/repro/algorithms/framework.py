@@ -23,7 +23,16 @@ distributed round ledger of Section 5: each step costs ``Time(MIS)``
 rounds (simulated Luby) plus one dual-broadcast round, and the second
 phase costs one round per pushed step.
 
-Instantiations:
+Since the vectorization refactor :class:`TwoPhaseEngine` is a thin
+composition of the components in :mod:`repro.algorithms.engine`
+(:class:`~repro.algorithms.engine.EpochSchedule`,
+:class:`~repro.algorithms.engine.StageRule`,
+:class:`~repro.algorithms.engine.PhaseOneEngine`,
+:class:`~repro.algorithms.engine.PhaseTwoGreedy`) over the vectorized
+core (:class:`~repro.core.conflict.ConflictIndex`,
+:class:`~repro.core.duals.DualState`).
+
+Instantiations (see :mod:`repro.algorithms.registry` for the name map):
 
 =====================  ======  ==========================  =============
 algorithm              rule    stage schedule              bound
@@ -39,61 +48,34 @@ Appendix A             unit    singleton MIS, λ = 1        ∆ + 1
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Sequence
 
 import numpy as np
 
 from ..core.conflict import ConflictIndex
 from ..core.duals import DualState
-from ..distributed.mis import greedy_mis, luby_mis, priority_mis
+from .engine import (
+    EngineStats,
+    EpochSchedule,
+    PhaseOneEngine,
+    PhaseTwoGreedy,
+    StageRule,
+    narrow_xi,
+    stage_count,
+    unit_xi,
+)
 
 __all__ = [
     "EngineInput",
     "EngineConfig",
     "EngineStats",
     "TwoPhaseEngine",
+    "run_framework",
     "unit_xi",
     "narrow_xi",
     "stage_count",
 ]
-
-_EPS = 1e-12
-
-
-def unit_xi(delta: int) -> float:
-    """Per-stage shrink ξ = 2∆′/(2∆′+1), ∆′ = ∆+1 (Section 5).
-
-    ∆ = 6 gives 14/15 (trees); ∆ = 3 gives 8/9 (lines).
-    """
-    dprime = delta + 1
-    return (2.0 * dprime) / (2.0 * dprime + 1.0)
-
-
-def narrow_xi(delta: int, hmin: float) -> float:
-    """ξ = c/(c + hmin) with c = 1 + 2∆² (Section 6's "suitable constant").
-
-    Chosen so the kill-chain argument of Lemma 5.1 doubles profits: a
-    raise of ``d1`` contributes at least ``2·hmin·|π|·δ ≥ 2·hmin·δ`` (or
-    ``δ`` via the shared α) to a conflicting ``d2``'s LHS, and
-    ``δ ≥ ξ^j p(d1)/(1+2∆²)``; requiring the stage gap
-    ``(ξ^{j-1}-ξ^j)p(d2)`` to absorb that forces ``p(d2) ≥ 2·p(d1)``
-    exactly when ``ξ/(1-ξ) = (1+2∆²)/hmin``.
-    """
-    if not (0.0 < hmin <= 0.5):
-        raise ValueError(f"hmin must lie in (0, 1/2], got {hmin}")
-    c = 1.0 + 2.0 * delta * delta
-    return c / (c + hmin)
-
-
-def stage_count(xi: float, epsilon: float) -> int:
-    """Smallest ``b`` with ``ξ^b ≤ ε`` (the stages-per-epoch schedule)."""
-    if not (0.0 < epsilon < 1.0):
-        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
-    if not (0.0 < xi < 1.0):
-        raise ValueError(f"xi must lie in (0, 1), got {xi}")
-    b = int(np.ceil(np.log(epsilon) / np.log(xi)))
-    return max(b, 1)
 
 
 @dataclass
@@ -114,6 +96,10 @@ class EngineInput:
         merged across networks (Figure 7's ``G_k = ∪_q G_k^{(q)}``).
     delta:
         Critical-set size ``∆`` the layering guarantees.
+    networks:
+        Optional list of the underlying tree-networks; when present the
+        conflict index can use their Euler-tour geometry for batched
+        path-overlap tests.
     """
 
     instances: Sequence
@@ -121,6 +107,7 @@ class EngineInput:
     critical: dict[int, tuple]
     groups: list[list[int]]
     delta: int
+    networks: Sequence | None = None
 
     def __post_init__(self) -> None:
         n = len(self.instances)
@@ -178,34 +165,20 @@ class EngineConfig:
     raise_alpha: bool = True
     max_steps: int = 100_000
 
+    def schedule(self, delta: int) -> EpochSchedule:
+        """The :class:`EpochSchedule` this config implies for ``∆``."""
+        return EpochSchedule.for_rule(
+            self.rule,
+            delta,
+            self.epsilon,
+            hmin=self.hmin,
+            xi=self.xi,
+            single_stage_target=self.single_stage_target,
+        )
 
-@dataclass
-class EngineStats:
-    """Run ledger: everything the complexity theorems talk about."""
-
-    epochs: int = 0
-    stages: int = 0
-    steps: int = 0
-    mis_rounds: int = 0
-    phase1_rounds: int = 0
-    phase2_rounds: int = 0
-    raises: int = 0
-    steps_per_stage: list[int] = field(default_factory=list)
-    dual_objective: float = 0.0
-    realized_lambda: float = 0.0
-    opt_upper_bound: float = 0.0
-    delta: int = 0
-    stage_schedule: list[float] = field(default_factory=list)
-
-    @property
-    def total_rounds(self) -> int:
-        """Distributed rounds: phase 1 (MIS + broadcast per step) + phase 2."""
-        return self.phase1_rounds + self.phase2_rounds
-
-    @property
-    def max_steps_in_a_stage(self) -> int:
-        """Largest step count of any (epoch, stage) — Lemma 5.1's L."""
-        return max(self.steps_per_stage, default=0)
+    def stage_rule(self) -> StageRule:
+        """The :class:`StageRule` this config implies."""
+        return StageRule(rule=self.rule, include_alpha=self.raise_alpha)
 
 
 class TwoPhaseEngine:
@@ -214,125 +187,45 @@ class TwoPhaseEngine:
     def __init__(self, inp: EngineInput, config: EngineConfig | None = None):
         self.inp = inp
         self.cfg = config or EngineConfig()
-        self.conflicts = ConflictIndex(inp.instances, inp.edges_of)
+        trees = (
+            {net.network_id: net for net in inp.networks}
+            if inp.networks is not None
+            else None
+        )
+        self.conflicts = ConflictIndex(inp.instances, inp.edges_of, trees=trees)
         profits = [d.profit for d in inp.instances]
         heights = [d.height for d in inp.instances]
         demand_of = [d.demand_id for d in inp.instances]
         self.duals = DualState(profits, heights, demand_of, inp.edges_of)
+        self.duals.set_critical(inp.critical)
         self._rng = np.random.default_rng(self.cfg.seed)
-
-    # ------------------------------------------------------------------
-
-    def _stage_targets(self) -> list[float]:
-        cfg = self.cfg
-        if cfg.single_stage_target is not None:
-            return [cfg.single_stage_target]
-        xi = cfg.xi
-        if xi is None:
-            xi = (
-                unit_xi(self.inp.delta)
-                if cfg.rule == "unit"
-                else narrow_xi(self.inp.delta, cfg.hmin)
-            )
-        b = stage_count(xi, cfg.epsilon)
-        return [1.0 - xi**j for j in range(1, b + 1)]
-
-    def _mis(self, population: set[int]) -> tuple[set[int], int]:
-        adj = self.conflicts.subgraph(population)
-        if self.cfg.mis == "greedy":
-            return greedy_mis(adj)
-        if self.cfg.mis == "priority":
-            return priority_mis(adj)
-        return luby_mis(adj, self._rng)
 
     def run(self) -> tuple[list, EngineStats]:
         """Execute both phases; returns (selected instances, stats)."""
         stats = EngineStats(delta=self.inp.delta)
-        targets = self._stage_targets()
-        stats.stage_schedule = targets
-        stack: list[list[int]] = []
-        duals = self.duals
-        if self.cfg.rule == "unit":
-            include_alpha = self.cfg.raise_alpha
-            raise_fn = lambda iid, crit: duals.raise_unit(iid, crit, include_alpha)
-        else:
-            raise_fn = duals.raise_narrow
-        critical = self.inp.critical
+        schedule = self.cfg.schedule(self.inp.delta)
+        stats.stage_schedule = list(schedule.targets)
 
-        # ---------------- First phase ----------------
-        for group in self.inp.groups:
-            stats.epochs += 1
-            if not group:
-                continue
-            for target in targets:
-                stats.stages += 1
-                stage_steps = 0
-                while True:
-                    unsat = {
-                        iid
-                        for iid in group
-                        if duals.lhs(iid) < target * duals.profits[iid] - _EPS
-                    }
-                    if not unsat:
-                        break
-                    mis, rounds = self._mis(unsat)
-                    for iid in mis:
-                        raise_fn(iid, critical[iid])
-                        stats.raises += 1
-                    stack.append(sorted(mis))
-                    stats.steps += 1
-                    stage_steps += 1
-                    stats.mis_rounds += rounds
-                    stats.phase1_rounds += rounds + 1
-                    if stage_steps > self.cfg.max_steps:
-                        raise RuntimeError(
-                            f"stage exceeded {self.cfg.max_steps} steps — the "
-                            "kill-chain bound should prevent this"
-                        )
-                stats.steps_per_stage.append(stage_steps)
+        phase1 = PhaseOneEngine(
+            self.inp.groups,
+            self.conflicts,
+            self.duals,
+            schedule,
+            self.cfg.stage_rule(),
+            mis=self.cfg.mis,
+            rng=self._rng,
+            max_steps=self.cfg.max_steps,
+        )
+        stack = phase1.run(stats)
 
-        # ---------------- Second phase ----------------
-        selected = self._second_phase(stack, stats)
+        phase2 = PhaseTwoGreedy(self.conflicts, capacities=self.cfg.capacity_phase2)
+        chosen = phase2.run(stack, stats)
+        selected = [self.inp.instances[iid] for iid in chosen]
 
-        stats.dual_objective = duals.objective()
-        stats.realized_lambda = duals.realized_lambda()
-        stats.opt_upper_bound = duals.opt_upper_bound()
+        stats.dual_objective = self.duals.objective()
+        stats.realized_lambda = self.duals.realized_lambda()
+        stats.opt_upper_bound = self.duals.opt_upper_bound()
         return selected, stats
-
-    def _second_phase(self, stack: list[list[int]], stats: EngineStats) -> list:
-        """Pop in reverse raise order; insert while feasible."""
-        chosen: list[int] = []
-        used_demands: set[int] = set()
-        if self.cfg.capacity_phase2:
-            load: dict[object, float] = {}
-            for group in reversed(stack):
-                stats.phase2_rounds += 1
-                for iid in group:
-                    inst = self.inp.instances[iid]
-                    if inst.demand_id in used_demands:
-                        continue
-                    edges = self.inp.edges_of[iid]
-                    if all(
-                        load.get(e, 0.0) + inst.height <= 1.0 + 1e-9 for e in edges
-                    ):
-                        chosen.append(iid)
-                        used_demands.add(inst.demand_id)
-                        for e in edges:
-                            load[e] = load.get(e, 0.0) + inst.height
-        else:
-            used_edges: set[object] = set()
-            for group in reversed(stack):
-                stats.phase2_rounds += 1
-                for iid in group:
-                    inst = self.inp.instances[iid]
-                    if inst.demand_id in used_demands:
-                        continue
-                    edges = self.inp.edges_of[iid]
-                    if not (edges & used_edges):
-                        chosen.append(iid)
-                        used_demands.add(inst.demand_id)
-                        used_edges |= edges
-        return [self.inp.instances[iid] for iid in chosen]
 
 
 def run_framework(

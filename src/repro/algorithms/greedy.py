@@ -14,10 +14,17 @@ from __future__ import annotations
 from typing import Literal
 
 from ..core.solution import Solution
+from .registry import register
 
 __all__ = ["solve_greedy"]
 
 
+@register(
+    "greedy",
+    family="any",
+    description="centralized first-fit greedy baseline (profit/density)",
+    accepts=("order",),
+)
 def solve_greedy(
     problem, *, order: Literal["profit", "density"] = "density"
 ) -> Solution:

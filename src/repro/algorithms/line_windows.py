@@ -22,6 +22,7 @@ from ..core.instance import LineProblem
 from ..core.solution import Solution
 from .compile import compile_line
 from .framework import EngineConfig, TwoPhaseEngine
+from .registry import register
 from .tree_arbitrary import combine_by_network
 
 __all__ = ["solve_line_unit", "solve_line_narrow", "solve_line_arbitrary"]
@@ -57,6 +58,12 @@ def _run(
     return Solution(selected=selected, stats=sol_stats)
 
 
+@register(
+    "line-unit",
+    family="line",
+    description="distributed (4+ε) unit-height line algorithm (Thm 7.1)",
+    accepts=("epsilon", "mis", "seed", "instance_filter"),
+)
 def solve_line_unit(
     problem: LineProblem,
     *,
@@ -81,6 +88,12 @@ def solve_line_unit(
     )
 
 
+@register(
+    "line-narrow",
+    family="line",
+    description="narrow-only (19+ε) line algorithm (Section 7)",
+    accepts=("epsilon", "hmin", "mis", "seed"),
+)
 def solve_line_narrow(
     problem: LineProblem,
     *,
@@ -115,6 +128,12 @@ def solve_line_narrow(
     )
 
 
+@register(
+    "line-arbitrary",
+    family="line",
+    description="arbitrary-height (23+ε) line algorithm (Thm 7.2)",
+    accepts=("epsilon", "hmin", "mis", "seed"),
+)
 def solve_line_arbitrary(
     problem: LineProblem,
     *,

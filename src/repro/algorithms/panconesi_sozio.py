@@ -26,11 +26,18 @@ from ..core.instance import LineProblem
 from ..core.solution import Solution
 from .compile import compile_line
 from .framework import EngineConfig, TwoPhaseEngine
+from .registry import register
 from .tree_arbitrary import combine_by_network
 
-__all__ = ["solve_ps_line_unit", "solve_ps_line_arbitrary"]
+__all__ = ["solve_ps_line_unit", "solve_ps_line_arbitrary", "solve_ps_baseline"]
 
 
+@register(
+    "ps-line-unit",
+    family="line",
+    description="Panconesi–Sozio unit baseline, single stage (20+ε)",
+    accepts=("epsilon", "mis", "seed", "instance_filter"),
+)
 def solve_ps_line_unit(
     problem: LineProblem,
     *,
@@ -72,6 +79,12 @@ def solve_ps_line_unit(
     )
 
 
+@register(
+    "ps-line-arbitrary",
+    family="line",
+    description="Panconesi–Sozio arbitrary-height baseline (55+ε)",
+    accepts=("epsilon", "mis", "seed"),
+)
 def solve_ps_line_arbitrary(
     problem: LineProblem,
     *,
@@ -116,3 +129,22 @@ def solve_ps_line_arbitrary(
             },
         )
     return combine_by_network(wide, narrow, "ps-line-arbitrary(55+eps)")
+
+
+@register(
+    "ps-baseline",
+    family="line",
+    description="Panconesi–Sozio baseline (unit or arbitrary, by regime)",
+    accepts=("epsilon", "mis", "seed"),
+)
+def solve_ps_baseline(
+    problem: LineProblem,
+    *,
+    epsilon: float = 0.1,
+    mis: Literal["luby", "greedy"] = "luby",
+    seed: int | None = 0,
+) -> Solution:
+    """The PS baseline matched to the problem's height regime."""
+    if problem.unit_height:
+        return solve_ps_line_unit(problem, epsilon=epsilon, mis=mis, seed=seed)
+    return solve_ps_line_arbitrary(problem, epsilon=epsilon, mis=mis, seed=seed)

@@ -1,0 +1,166 @@
+"""Declarative solver registry: algorithm names → engine configurations.
+
+The paper's algorithms differ only in *data* — which problem family they
+accept, which schedule/raising rule the engine runs, which baseline they
+reconstruct.  The registry makes that explicit: every solver registers a
+:class:`SolverSpec` under a stable name (``tree-unit``, ``line-narrow``,
+``ps-baseline``, ``sequential``, ...), and every consumer — the CLI, the
+batch runner, the benchmarks — dispatches through :func:`solve` instead
+of hard-coding constructors.
+
+>>> from repro.algorithms import registry
+>>> sol = registry.solve("tree-unit", problem, epsilon=0.1, seed=0)
+
+Names are listed by :func:`names`; ``"auto"`` resolves to the paper's
+algorithm for the problem family and height regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "SolverSpec",
+    "register",
+    "get",
+    "names",
+    "specs",
+    "resolve",
+    "solve",
+]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solver.
+
+    Attributes
+    ----------
+    name:
+        Registry key (stable; used by CLI/runner/benchmarks).
+    fn:
+        ``fn(problem, **kwargs) -> Solution``.
+    family:
+        ``"tree"``, ``"line"``, or ``"any"`` — which problem type the
+        solver accepts.
+    description:
+        One-line summary (shown in ``--help``).
+    accepts:
+        Keyword arguments the solver understands; :func:`solve` filters
+        the caller's kwargs down to these, so heterogeneous sweeps can
+        pass one parameter dict to every solver.
+    """
+
+    name: str
+    fn: Callable
+    family: str
+    description: str
+    accepts: tuple[str, ...] = ()
+
+    def accepts_problem(self, problem) -> bool:
+        """Whether this solver can run on the given problem."""
+        from ..core.instance import TreeProblem
+
+        if self.family == "any":
+            return True
+        is_tree = isinstance(problem, TreeProblem)
+        return (self.family == "tree") == is_tree
+
+
+_REGISTRY: dict[str, SolverSpec] = {}
+
+
+def register(
+    name: str,
+    *,
+    family: str,
+    description: str,
+    accepts: Iterable[str] = (),
+):
+    """Class-/function decorator registering a solver under ``name``."""
+    if family not in ("tree", "line", "any"):
+        raise ValueError(f"unknown family {family!r}")
+
+    def deco(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"solver {name!r} registered twice")
+        _REGISTRY[name] = SolverSpec(
+            name=name,
+            fn=fn,
+            family=family,
+            description=description,
+            accepts=tuple(accepts),
+        )
+        return fn
+
+    return deco
+
+
+def _ensure_loaded() -> None:
+    """Import the solver modules so their ``@register`` decorators run."""
+    from . import (  # noqa: F401
+        exact,
+        greedy,
+        line_windows,
+        panconesi_sozio,
+        sequential_tree,
+        tree_arbitrary,
+        tree_unit,
+    )
+
+
+def get(name: str) -> SolverSpec:
+    """Look up a solver spec; raises ``KeyError`` with the known names."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> list[str]:
+    """All registered solver names, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def specs() -> list[SolverSpec]:
+    """All registered specs, sorted by name."""
+    _ensure_loaded()
+    return [_REGISTRY[n] for n in names()]
+
+
+def resolve(name: str, problem) -> SolverSpec:
+    """Resolve ``name`` (including ``"auto"``) against a problem.
+
+    ``"auto"`` picks the paper's algorithm for the problem family and
+    height regime.  Raises ``ValueError`` when the solver's family does
+    not match the problem.
+    """
+    from ..core.instance import TreeProblem
+
+    _ensure_loaded()
+    if name == "auto":
+        if isinstance(problem, TreeProblem):
+            name = "tree-unit" if problem.unit_height else "tree-arbitrary"
+        else:
+            name = "line-unit" if problem.unit_height else "line-arbitrary"
+    spec = get(name)
+    if not spec.accepts_problem(problem):
+        kind = "tree" if spec.family == "tree" else "line"
+        raise ValueError(f"{spec.name} needs a {kind} problem")
+    return spec
+
+
+def solve(name: str, problem, **kwargs):
+    """Run the named solver on ``problem``.
+
+    Keyword arguments not in the solver's ``accepts`` list are silently
+    dropped, so one parameter dict can drive a heterogeneous sweep.
+    """
+    spec = resolve(name, problem)
+    kw = {k: v for k, v in kwargs.items() if k in spec.accepts}
+    return spec.fn(problem, **kw)

@@ -29,10 +29,17 @@ from ..core.solution import Solution
 from ..decomposition.rooted import root_fixing_decomposition
 from .compile import compile_tree
 from .framework import EngineConfig, EngineInput, TwoPhaseEngine
+from .registry import register
 
 __all__ = ["solve_sequential_tree"]
 
 
+@register(
+    "sequential",
+    family="tree",
+    description="sequential Appendix-A local-ratio algorithm (3-approx)",
+    accepts=("raise_alpha", "instance_filter"),
+)
 def solve_sequential_tree(
     problem: TreeProblem,
     *,
@@ -88,6 +95,7 @@ def solve_sequential_tree(
         critical=critical,
         groups=groups,
         delta=2,
+        networks=base.networks,
     )
     if raise_alpha is None:
         multi = len(base.instances) > len({d.demand_id for d in base.instances})

@@ -25,11 +25,18 @@ from ..core.instance import TreeProblem
 from ..core.solution import Solution
 from .compile import compile_tree
 from .framework import EngineConfig, TwoPhaseEngine
+from .registry import register
 from .tree_unit import solve_tree_unit
 
 __all__ = ["solve_tree_arbitrary", "solve_tree_narrow", "combine_by_network"]
 
 
+@register(
+    "tree-narrow",
+    family="tree",
+    description="narrow-only (73+ε) tree algorithm (Lemma 6.2)",
+    accepts=("epsilon", "hmin", "mis", "seed"),
+)
 def solve_tree_narrow(
     problem: TreeProblem,
     *,
@@ -111,6 +118,12 @@ def combine_by_network(s1: Solution, s2: Solution, label: str) -> Solution:
     )
 
 
+@register(
+    "tree-arbitrary",
+    family="tree",
+    description="arbitrary-height (80+ε) tree algorithm (Thm 6.3)",
+    accepts=("epsilon", "hmin", "mis", "seed"),
+)
 def solve_tree_arbitrary(
     problem: TreeProblem,
     *,

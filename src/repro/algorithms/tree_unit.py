@@ -21,10 +21,17 @@ from ..decomposition.ideal import ideal_decomposition
 from ..network.tree import TreeNetwork
 from .compile import compile_tree
 from .framework import EngineConfig, TwoPhaseEngine
+from .registry import register
 
 __all__ = ["solve_tree_unit"]
 
 
+@register(
+    "tree-unit",
+    family="tree",
+    description="distributed (7+ε) unit-height tree algorithm (Thm 5.3)",
+    accepts=("epsilon", "decomposition", "mis", "seed", "instance_filter"),
+)
 def solve_tree_unit(
     problem: TreeProblem,
     *,

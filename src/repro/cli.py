@@ -4,19 +4,27 @@
 python -m repro generate  --kind tree --n 32 --m 24 --r 2 -o problem.json
 python -m repro solve     problem.json --algorithm tree-unit --epsilon 0.1
 python -m repro compare   problem.json
+python -m repro sweep     a.json b.json --solvers tree-unit,sequential --seeds 0,1,2
+python -m repro bench     --smoke
 python -m repro decompose --topology caterpillar --n 32
 ```
 
 ``solve`` prints the solution summary (profit, rounds, λ, the dual
 certificate) and optionally writes the solution JSON; ``compare`` runs
 the paper's algorithm, the relevant baseline, greedy, and the exact
-optimum side by side; ``decompose`` prints the Section 4 decomposition
-table for a topology.
+optimum side by side; ``sweep`` fans (instance, solver, seed) jobs across
+a process pool with result caching; ``bench`` times the vectorized hot
+path; ``decompose`` prints the Section 4 decomposition table.
+
+Algorithm names are resolved through the solver registry
+(:mod:`repro.algorithms.registry`); ``--algorithm help`` or the epilog of
+``solve --help`` lists them.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.instance import TreeProblem
@@ -24,8 +32,21 @@ from .core.instance import TreeProblem
 __all__ = ["main", "build_parser"]
 
 
+def _registry_epilog() -> str:
+    from .algorithms import registry
+
+    lines = ["registered solvers:"]
+    for spec in registry.specs():
+        lines.append(f"  {spec.name:<18} [{spec.family:^4}] {spec.description}")
+    lines.append("  auto               picks the paper's algorithm for the "
+                 "problem family/heights")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
+    from .algorithms import registry
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Distributed scheduling on line and tree networks "
@@ -46,14 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("-o", "--output", required=True)
 
-    sol = sub.add_parser("solve", help="solve a problem JSON")
-    sol.add_argument("problem")
-    sol.add_argument(
-        "--algorithm",
-        default="auto",
-        choices=["auto", "tree-unit", "tree-arbitrary", "line-unit",
-                 "line-arbitrary", "ps-line", "sequential", "greedy", "exact"],
+    solver_names = ["auto"] + registry.names()
+    sol = sub.add_parser(
+        "solve",
+        help="solve a problem JSON",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    sol.add_argument("problem")
+    sol.add_argument("--algorithm", default="auto", choices=solver_names,
+                     metavar="NAME",
+                     help="registry solver name (see epilog), default: auto")
     sol.add_argument("--epsilon", type=float, default=0.1)
     sol.add_argument("--seed", type=int, default=0)
     sol.add_argument("--mis", default="luby",
@@ -64,6 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("problem")
     cmp_.add_argument("--epsilon", type=float, default=0.1)
     cmp_.add_argument("--seed", type=int, default=0)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a (problem × solver × seed) grid through the batch runner",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    swp.add_argument("problems", nargs="+", help="problem JSON files")
+    swp.add_argument("--solvers", default="auto",
+                     help="comma-separated registry names (default: auto)")
+    swp.add_argument("--seeds", default="0",
+                     help="comma-separated seeds (default: 0)")
+    swp.add_argument("--epsilon", type=float, default=0.1)
+    swp.add_argument("--mis", default="luby",
+                     choices=["luby", "greedy", "priority"])
+    swp.add_argument("--processes", type=int, default=None,
+                     help="pool size (default: CPU count; 1 = inline)")
+    swp.add_argument("--cache-dir", default=None,
+                     help="memoise results keyed by instance hash + config")
+    swp.add_argument("-o", "--output", default=None,
+                     help="write structured JSON results here")
+
+    ben = sub.add_parser("bench",
+                         help="time the vectorized hot path (see "
+                              "benchmarks/bench_hot_path.py)")
+    ben.add_argument("--smoke", action="store_true",
+                     help="small instances, seconds instead of minutes")
+    ben.add_argument("-o", "--output", default="BENCH_hotpath.json")
 
     dec = sub.add_parser("decompose",
                          help="Section 4 decomposition table for a topology")
@@ -94,45 +146,21 @@ def _generate(args) -> int:
     return 0
 
 
-def _pick_algorithm(problem, name: str):
-    from . import algorithms as alg
-
-    is_tree = isinstance(problem, TreeProblem)
-    if name == "auto":
-        if is_tree:
-            name = "tree-unit" if problem.unit_height else "tree-arbitrary"
-        else:
-            name = "line-unit" if problem.unit_height else "line-arbitrary"
-    table = {
-        "tree-unit": (alg.solve_tree_unit, True),
-        "tree-arbitrary": (alg.solve_tree_arbitrary, True),
-        "sequential": (alg.solve_sequential_tree, True),
-        "line-unit": (alg.solve_line_unit, False),
-        "line-arbitrary": (alg.solve_line_arbitrary, False),
-        "ps-line": (alg.solve_ps_line_unit, False),
-        "greedy": (alg.solve_greedy, None),
-        "exact": (alg.solve_optimal, None),
-    }
-    fn, wants_tree = table[name]
-    if wants_tree is True and not is_tree:
-        raise SystemExit(f"{name} needs a tree problem")
-    if wants_tree is False and is_tree:
-        raise SystemExit(f"{name} needs a line problem")
-    return name, fn
-
-
 def _solve(args) -> int:
+    from .algorithms import registry
     from .core.solution import verify_line_solution, verify_tree_solution
     from .io import load_problem, save_solution
     from .report import render_solution_summary
 
     problem = load_problem(args.problem)
-    name, fn = _pick_algorithm(problem, args.algorithm)
-    kwargs = {}
-    if name in ("tree-unit", "tree-arbitrary", "line-unit", "line-arbitrary",
-                "ps-line"):
-        kwargs = dict(epsilon=args.epsilon, seed=args.seed, mis=args.mis)
-    sol = fn(problem, **kwargs)
+    try:
+        spec = registry.resolve(args.algorithm, problem)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    sol = registry.solve(
+        spec.name, problem,
+        epsilon=args.epsilon, seed=args.seed, mis=args.mis,
+    )
     if isinstance(problem, TreeProblem):
         verify_tree_solution(problem, sol, unit_height=False)
     else:
@@ -145,38 +173,91 @@ def _solve(args) -> int:
 
 
 def _compare(args) -> int:
-    from . import algorithms as alg
+    from .algorithms import registry
     from .io import load_problem
     from .report import render_comparison
 
     problem = load_problem(args.problem)
+    kw = dict(epsilon=args.epsilon, seed=args.seed)
     entries = []
     if isinstance(problem, TreeProblem):
-        entries.append((
-            "tree-arbitrary (80+ε)" if not problem.unit_height
-            else "tree-unit (7+ε)",
-            (alg.solve_tree_arbitrary if not problem.unit_height
-             else alg.solve_tree_unit)(problem, epsilon=args.epsilon,
-                                       seed=args.seed),
-        ))
-        entries.append(("sequential (App. A)", alg.solve_sequential_tree(problem)))
+        main_name = "tree-unit" if problem.unit_height else "tree-arbitrary"
+        main_label = ("tree-unit (7+ε)" if problem.unit_height
+                      else "tree-arbitrary (80+ε)")
+        entries.append((main_label, registry.solve(main_name, problem, **kw)))
+        entries.append(("sequential (App. A)",
+                        registry.solve("sequential", problem)))
     else:
-        entries.append((
-            "line-arbitrary (23+ε)" if not problem.unit_height
-            else "line-unit (4+ε)",
-            (alg.solve_line_arbitrary if not problem.unit_height
-             else alg.solve_line_unit)(problem, epsilon=args.epsilon,
-                                       seed=args.seed),
-        ))
-        entries.append((
-            "Panconesi–Sozio",
-            (alg.solve_ps_line_arbitrary if not problem.unit_height
-             else alg.solve_ps_line_unit)(problem, epsilon=args.epsilon,
-                                          seed=args.seed),
-        ))
-    entries.append(("greedy (density)", alg.solve_greedy(problem)))
-    opt = alg.solve_optimal(problem)
+        main_name = "line-unit" if problem.unit_height else "line-arbitrary"
+        main_label = ("line-unit (4+ε)" if problem.unit_height
+                      else "line-arbitrary (23+ε)")
+        entries.append((main_label, registry.solve(main_name, problem, **kw)))
+        entries.append(("Panconesi–Sozio",
+                        registry.solve("ps-baseline", problem, **kw)))
+    entries.append(("greedy (density)", registry.solve("greedy", problem)))
+    opt = registry.solve("exact", problem)
     print(render_comparison(entries, opt=opt.profit))
+    return 0
+
+
+def _sweep(args) -> int:
+    from .algorithms import registry
+    from .runners import BatchRunner, Job
+    from .report import render_sweep
+
+    solvers = [s.strip() for s in args.solvers.split(",") if s.strip()]
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    params = {"epsilon": args.epsilon, "mis": args.mis}
+
+    from .io import load_problem
+
+    jobs: list[Job] = []
+    skipped: list[str] = []
+    for path in args.problems:
+        problem = load_problem(path)
+        for name in solvers:
+            try:
+                # Same resolution as `solve` — auto, family gating and all.
+                spec = registry.resolve(name, problem)
+            except KeyError as exc:
+                raise SystemExit(f"sweep: {exc.args[0]}")
+            except ValueError:
+                skipped.append(f"{name} on {path}")
+                continue
+            for seed in seeds:
+                jobs.append(Job(problem=path, solver=spec.name,
+                                params=dict(params), seed=seed))
+    if skipped:
+        print("skipped (family mismatch): " + ", ".join(skipped))
+    runner = BatchRunner(processes=args.processes, cache_dir=args.cache_dir)
+    results = runner.run(jobs)
+    print(render_sweep(results))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump([r.to_dict() for r in results], fh, indent=2)
+        print(f"results written to {args.output}")
+    return 1 if any(r.error for r in results) else 0
+
+
+def _bench(args) -> int:
+    from .runners import run_hotpath_bench
+
+    report = run_hotpath_bench(smoke=args.smoke, out_path=args.output)
+    for name, case in report["cases"].items():
+        line = (f"{name:>5}: {case['instances']} instances, "
+                f"pop {case['population']}")
+        if "speedup" in case:
+            line += (f" | conflict x{case['speedup_conflict']:.1f}"
+                     f" | duals x{case['speedup_duals']:.1f}"
+                     f" | total x{case['speedup']:.1f}")
+        else:
+            line += f" | vectorized {case['vectorized_total_s'] * 1e3:.1f} ms"
+        print(line)
+    if "combined_speedup" in report:
+        print(f"combined speedup: x{report['combined_speedup']:.1f}")
+    else:
+        print("scalar reference unavailable — vectorized timings only")
+    print(f"written to {args.output}")
     return 0
 
 
@@ -210,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _generate,
         "solve": _solve,
         "compare": _compare,
+        "sweep": _sweep,
+        "bench": _bench,
         "decompose": _decompose,
     }
     return handlers[args.command](args)

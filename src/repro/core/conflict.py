@@ -7,16 +7,26 @@ conflict graph; the distributed algorithm computes maximal independent
 sets of sub-populations of it every step (Section 5).
 
 :class:`ConflictIndex` answers conflict queries and enumerates conflict
-edges without materialising the full quadratic graph unless asked: it
-keeps per-demand buckets and per-(network, edge) activity buckets, so the
-neighbourhood of an instance is the union of a few bucket lookups.
+edges without materialising the full quadratic graph unless asked.  Since
+the vectorization refactor it keeps two complementary representations:
+
+* per-demand buckets and per-(network, edge) activity buckets for exact
+  single-instance neighbourhood queries (the original scalar API);
+* NumPy *geometry* arrays — interval endpoints for line instances,
+  endpoint pairs plus a per-network Euler-tour index
+  (:class:`~repro.network.tree.EulerTourIndex`) for tree instances, and a
+  CSR copy of the activity lists — so population-level queries
+  (:meth:`adjacency`) and active-set queries (:class:`ActiveConflictSet`)
+  run as array operations instead of per-pair Python loops.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["ConflictIndex"]
+import numpy as np
+
+__all__ = ["ConflictIndex", "ActiveConflictSet"]
 
 
 class ConflictIndex:
@@ -31,9 +41,20 @@ class ConflictIndex:
         ``global_edges[iid]`` is the list of global edge ids instance
         ``iid`` is active on (``(network, edge)`` or ``(resource, slot)``).
         Instance ids must be ``0 .. len(instances) - 1``.
+    trees:
+        Optional mapping ``network_id →``
+        :class:`~repro.network.tree.TreeNetwork`.  When given (and the
+        instances carry ``u``/``v`` endpoints), population-level conflict
+        queries use the Euler-tour path-overlap test instead of edge
+        buckets.
     """
 
-    def __init__(self, instances: Sequence, global_edges: Sequence[Sequence]):
+    def __init__(
+        self,
+        instances: Sequence,
+        global_edges: Sequence[Sequence],
+        trees: Mapping[int, object] | None = None,
+    ):
         if len(instances) != len(global_edges):
             raise ValueError("one edge list per instance required")
         self._instances = list(instances)
@@ -50,6 +71,54 @@ class ConflictIndex:
             self._by_demand.setdefault(inst.demand_id, []).append(iid)
             for e in ge:
                 self._by_edge.setdefault(e, []).append(iid)
+        self._build_arrays(global_edges, trees)
+
+    def _build_arrays(self, global_edges, trees) -> None:
+        """Intern edges/demands and pick the geometry for batch queries."""
+        insts = self._instances
+        n = len(insts)
+        self._edge_index: dict[object, int] = {}
+        flat: list[int] = []
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for pos, ge in enumerate(global_edges):
+            for e in ge:
+                eid = self._edge_index.setdefault(e, len(self._edge_index))
+                flat.append(eid)
+            indptr[pos + 1] = len(flat)
+        self._flat_edges = np.asarray(flat, dtype=np.int64)
+        self._indptr = indptr
+        self.num_edges = len(self._edge_index)
+
+        self._demand_index: dict[int, int] = {}
+        dix = np.empty(n, dtype=np.int64)
+        for pos, inst in enumerate(insts):
+            dix[pos] = self._demand_index.setdefault(
+                inst.demand_id, len(self._demand_index)
+            )
+        self._dix = dix
+        self._net_arr = np.asarray([d.network_id for d in insts], dtype=np.int64)
+        self._heights = np.asarray(
+            [getattr(d, "height", 1.0) for d in insts], dtype=np.float64
+        )
+
+        if n and all(hasattr(d, "start") and hasattr(d, "end") for d in insts):
+            self._geometry = "interval"
+            self._starts = np.asarray([d.start for d in insts], dtype=np.int64)
+            self._ends = np.asarray([d.end for d in insts], dtype=np.int64)
+        elif (
+            n
+            and trees is not None
+            and all(hasattr(d, "u") and hasattr(d, "v") for d in insts)
+        ):
+            self._geometry = "euler"
+            self._us = np.asarray([d.u for d in insts], dtype=np.int64)
+            self._vs = np.asarray([d.v for d in insts], dtype=np.int64)
+            self._euler = {
+                q: trees[q].euler_index()
+                for q in np.unique(self._net_arr).tolist()
+            }
+        else:
+            self._geometry = "buckets"
 
     # ------------------------------------------------------------------
 
@@ -117,13 +186,85 @@ class ConflictIndex:
             used_edges.update(self._edges_of[iid])
         return True
 
+    # ------------------------------------------------------------------
+    # Population-level (vectorized) queries
+    # ------------------------------------------------------------------
+
+    def conflict_matrix(self, iids: Sequence[int]) -> np.ndarray:
+        """Pairwise conflict matrix of the given instance ids.
+
+        ``M[i, j]`` = "``iids[i]`` conflicts with ``iids[j]``", diagonal
+        False.  Interval-overlap tests for line instances, Euler-tour
+        path-overlap tests for tree instances, edge-bucket expansion as
+        the generic fallback.
+        """
+        arr = np.asarray(iids, dtype=np.int64)
+        k = len(arr)
+        dix = self._dix[arr]
+        nets = self._net_arr[arr]
+        one_net = len(np.unique(nets)) <= 1
+        if self._geometry == "interval":
+            s, e = self._starts[arr], self._ends[arr]
+            M = s[:, None] <= e[None, :]
+            M &= s[None, :] <= e[:, None]
+            if not one_net:
+                M &= nets[:, None] == nets[None, :]
+            if len(np.unique(dix)) < k:
+                M |= dix[:, None] == dix[None, :]
+            np.fill_diagonal(M, False)
+            return M
+        M = dix[:, None] == dix[None, :]
+        if self._geometry == "euler":
+            for q in np.unique(nets).tolist():
+                sel = np.nonzero(nets == q)[0]
+                if len(sel) < 2:
+                    continue
+                sub = self._euler[q].path_overlap_matrix(
+                    self._us[arr[sel]], self._vs[arr[sel]]
+                )
+                M[np.ix_(sel, sel)] |= sub
+        else:
+            flat, indptr = self._flat_edges, self._indptr
+            seen: dict[int, list[int]] = {}
+            for i, iid in enumerate(arr):
+                for eid in flat[indptr[iid]:indptr[iid + 1]]:
+                    seen.setdefault(int(eid), []).append(i)
+            for members in seen.values():
+                if len(members) > 1:
+                    idx = np.asarray(members)
+                    M[np.ix_(idx, idx)] = True
+        np.fill_diagonal(M, False)
+        return M
+
+    def adjacency(self, population: Iterable[int]) -> dict[int, set[int]]:
+        """Adjacency dict of the conflict graph induced on ``population``.
+
+        Vectorized equivalent of :meth:`subgraph`: same contents, same
+        key order (the iteration order of ``population``), but computed
+        through :meth:`conflict_matrix` instead of per-instance bucket
+        unions.
+        """
+        order = list(population)
+        if not order:
+            return {}
+        arr = np.asarray(order, dtype=np.int64)
+        M = self.conflict_matrix(arr)
+        rows, cols = np.nonzero(M)
+        splits = np.split(arr[cols], np.searchsorted(rows, np.arange(1, len(arr))))
+        return {
+            iid: set(splits[i].tolist()) for i, iid in enumerate(order)
+        }
+
     def subgraph(self, population: Iterable[int]):
         """Adjacency dict of the conflict graph induced on ``population``.
 
         Used to hand sub-populations to the MIS routines.
         """
-        pop = set(population)
-        return {iid: self.neighbors(iid, pop) for iid in pop}
+        return self.adjacency(set(population))
+
+    def active_set(self, capacities: bool = False) -> "ActiveConflictSet":
+        """A fresh incremental active-set view over this population."""
+        return ActiveConflictSet(self, capacities=capacities)
 
     def to_networkx(self, population: Iterable[int] | None = None):
         """Export the (induced) conflict graph as :class:`networkx.Graph`."""
@@ -137,3 +278,120 @@ class ConflictIndex:
                 if other > iid:
                     g.add_edge(iid, other)
         return g
+
+
+class ActiveConflictSet:
+    """Incremental membership structure for the second-phase greedy unwind.
+
+    Maintains per-edge load (or occupancy) and per-demand usage for a
+    growing/shrinking *active set* of instances, so "which of these
+    candidates conflict with the active set" is a batched gather/segment
+    reduction instead of a from-scratch rebuild per step.
+
+    Parameters
+    ----------
+    index:
+        The :class:`ConflictIndex` whose interned arrays are shared.
+    capacities:
+        ``False`` (default): unit semantics — a candidate is blocked if
+        any of its edges is occupied.  ``True``: height semantics — a
+        candidate is blocked if adding its height would push any edge
+        load above 1 (within ``1e-9``).
+    """
+
+    def __init__(self, index: ConflictIndex, capacities: bool = False):
+        self._index = index
+        self.capacities = capacities
+        self._load = np.zeros(index.num_edges, dtype=np.float64)
+        self._demand_used = np.zeros(len(index._demand_index), dtype=bool)
+        self._members: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, iid: int) -> bool:
+        return iid in self._members
+
+    def _edges(self, iid: int) -> np.ndarray:
+        idx = self._index
+        return idx._flat_edges[idx._indptr[iid]:idx._indptr[iid + 1]]
+
+    def blocked_mask(self, iids: Sequence[int]) -> np.ndarray:
+        """Boolean array: which candidates conflict with the active set.
+
+        The candidates are assumed pairwise non-conflicting (they come
+        from one MIS step), so the answers are independent of each other.
+        """
+        idx = self._index
+        arr = np.asarray(iids, dtype=np.int64)
+        if len(arr) == 0:
+            return np.zeros(0, dtype=bool)
+        blocked = self._demand_used[idx._dix[arr]].copy()
+        starts = idx._indptr[arr]
+        counts = idx._indptr[arr + 1] - starts
+        total = int(counts.sum())
+        if total:
+            # Gather every candidate's edge loads into one flat array.
+            offsets = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                counts,
+            )
+            flat_pos = np.arange(total) + offsets
+            loads = self._load[idx._flat_edges[flat_pos]]
+            seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            nonempty = counts > 0
+            seg_max = np.zeros(len(arr), dtype=np.float64)
+            if nonempty.any():
+                seg_max[nonempty] = np.maximum.reduceat(
+                    loads, seg_starts[nonempty]
+                )
+            if self.capacities:
+                blocked |= seg_max + idx._heights[arr] > 1.0 + 1e-9
+            else:
+                blocked |= seg_max > 0.0
+        return blocked
+
+    def blocked(self, iid: int) -> bool:
+        """Whether one candidate conflicts with the active set."""
+        return bool(self.blocked_mask(np.asarray([iid]))[0])
+
+    def add(self, iid: int) -> None:
+        """Insert an instance into the active set (no feasibility check)."""
+        idx = self._index
+        h = idx._heights[iid] if self.capacities else 1.0
+        self._load[self._edges(iid)] += h
+        self._demand_used[idx._dix[iid]] = True
+        self._members.add(iid)
+
+    def add_all(self, iids: Sequence[int]) -> None:
+        """Batch-insert pairwise non-conflicting instances."""
+        idx = self._index
+        arr = np.asarray(iids, dtype=np.int64)
+        if len(arr) == 0:
+            return
+        starts = idx._indptr[arr]
+        counts = idx._indptr[arr + 1] - starts
+        total = int(counts.sum())
+        if total:
+            offsets = np.repeat(
+                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            )
+            edges = idx._flat_edges[np.arange(total) + offsets]
+            if self.capacities:
+                # Candidates are edge-disjoint, so the fancy-indexed add
+                # touches each position at most once.
+                self._load[edges] += np.repeat(idx._heights[arr], counts)
+            else:
+                self._load[edges] += 1.0
+        self._demand_used[idx._dix[arr]] = True
+        self._members.update(arr.tolist())
+
+    def remove(self, iid: int) -> None:
+        """Remove an instance from the active set."""
+        if iid not in self._members:
+            raise KeyError(f"instance {iid} is not in the active set")
+        idx = self._index
+        h = idx._heights[iid] if self.capacities else 1.0
+        self._load[self._edges(iid)] -= h
+        self._demand_used[idx._dix[iid]] = False
+        self._members.discard(iid)

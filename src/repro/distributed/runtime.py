@@ -387,6 +387,8 @@ class ProtocolRuntime:
         # One final delivery round so late SELECTED broadcasts settle.
         self.sim.run_phase("drain")
 
+        ledger = self.verify_round_ledger()
+
         by_iid = {d.instance_id: d for d in self.inp.instances}
         selected = [
             by_iid[p.selection.iid]
@@ -402,8 +404,41 @@ class ProtocolRuntime:
                 "rounds": self.sim.stats.rounds,
                 "messages": self.sim.stats.messages,
                 "steps": len(step_tuples),
+                **ledger,
             },
         )
+
+    def verify_round_ledger(self) -> dict:
+        """Reconcile the engine-side and simulator-side round ledgers.
+
+        The simulator keeps two independently maintained counters: the
+        global ``SimStats.rounds`` incremented by :meth:`step_round`, and
+        the per-phase charges recorded by :meth:`run_phase`.  The rounds
+        the protocol *charges* (one entry per phase-1 step, phase-2 pop,
+        and the drain) must sum to exactly the rounds the simulator
+        *executed* — anything else means a phase ran outside the ledger
+        or was double-charged.
+
+        Returns the per-phase breakdown; raises ``RuntimeError`` on
+        disagreement.
+        """
+        per_phase = self.sim.stats.per_phase
+        charged = sum(per_phase.values())
+        executed = self.sim.stats.rounds
+        if charged != executed:
+            raise RuntimeError(
+                f"round-ledger mismatch: phases charge {charged} rounds but "
+                f"the simulator executed {executed}"
+            )
+        phase1 = sum(v for k, v in per_phase.items() if k.startswith("phase1"))
+        phase2 = sum(v for k, v in per_phase.items() if k.startswith("phase2"))
+        drain = per_phase.get("drain", 0)
+        return {
+            "phase1_rounds": phase1,
+            "phase2_rounds": phase2,
+            "drain_rounds": drain,
+            "rounds_charged": charged,
+        }
 
 
 class TreeUnitRuntime(ProtocolRuntime):

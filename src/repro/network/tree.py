@@ -26,7 +26,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator, Sequence
 
-__all__ = ["EdgeKey", "TreeNetwork", "edge_key"]
+import numpy as np
+
+__all__ = ["EdgeKey", "EulerTourIndex", "TreeNetwork", "edge_key"]
 
 EdgeKey = tuple[int, int]
 
@@ -63,6 +65,7 @@ class TreeNetwork:
         "_depth",
         "_order",
         "_edge_set",
+        "_euler",
     )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]], network_id: int = 0):
@@ -113,6 +116,7 @@ class TreeNetwork:
         self._parent = parent
         self._depth = depth
         self._order = order
+        self._euler: EulerTourIndex | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -371,6 +375,12 @@ class TreeNetwork:
 
     # ------------------------------------------------------------------
 
+    def euler_index(self) -> "EulerTourIndex":
+        """The (cached) Euler-tour index of this tree (rooted at 0)."""
+        if self._euler is None:
+            self._euler = EulerTourIndex(self)
+        return self._euler
+
     def to_networkx(self):
         """Export as a :class:`networkx.Graph` (for plotting/debugging)."""
         import networkx as nx
@@ -382,3 +392,123 @@ class TreeNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TreeNetwork(id={self.network_id}, n={self.n})"
+
+
+class EulerTourIndex:
+    """Euler-tour arrays + O(1) batch LCA / ancestor / path-overlap tests.
+
+    Built once per tree (``O(n log n)`` sparse table over the tour), this
+    index turns the per-pair path computations of the conflict relation
+    into NumPy gathers:
+
+    * ``is_ancestor(a, b)`` — entry/exit-time interval containment;
+    * ``batch_lca(u, v)`` — range-minimum over the tour depth array;
+    * ``path_overlap_matrix(us, vs)`` — pairwise "do the routes share an
+      edge" for whole instance populations, via the median identity: the
+      intersection of ``path(a,b)`` with ``path(c,d)`` contains an edge
+      iff ``median(a,b,c) != median(a,b,d)``.
+
+    All query methods accept and return :mod:`numpy` integer arrays.
+    """
+
+    def __init__(self, tree: TreeNetwork):
+        n = tree.n
+        parent, depth = tree._parent, tree._depth
+        tour: list[int] = []
+        tin = [0] * n
+        tout = [0] * n
+        first = [-1] * n
+        # Iterative Euler tour from the root (vertex 0): push a vertex on
+        # entry and again after each child subtree returns.
+        stack: list[tuple[int, int]] = [(0, 0)]  # (vertex, next-child index)
+        kids = [[y for y in tree.adj[x] if y != parent[x]] for x in range(n)]
+        while stack:
+            x, ci = stack[-1]
+            if ci == 0:
+                tin[x] = len(tour)
+                first[x] = len(tour)
+                tour.append(x)
+            if ci < len(kids[x]):
+                stack[-1] = (x, ci + 1)
+                stack.append((kids[x][ci], 0))
+            else:
+                tout[x] = len(tour)
+                stack.pop()
+                if stack:  # re-visit the parent on the way back up
+                    tour.append(stack[-1][0])
+        self.tour = np.asarray(tour, dtype=np.int64)
+        self.tin = np.asarray(tin, dtype=np.int64)
+        self.tout = np.asarray(tout, dtype=np.int64)
+        self.first = np.asarray(first, dtype=np.int64)
+        self.depth = np.asarray(depth, dtype=np.int64)
+        tour_depth = self.depth[self.tour]
+
+        m = len(tour)
+        # floor(log2(k)) for k in 1..m, exact via the binary exponent.
+        ks = np.arange(1, m + 1)
+        self._log = np.concatenate(([0], np.frexp(ks.astype(np.float64))[1] - 1))
+        levels = int(self._log[m]) + 1
+        # Sparse table of argmins (positions into the tour) by depth.
+        table = np.empty((levels, m), dtype=np.int64)
+        table[0] = np.arange(m)
+        for j in range(1, levels):
+            half = 1 << (j - 1)
+            width = m - (1 << j) + 1
+            left = table[j - 1, :width]
+            right = table[j - 1, half:half + width]
+            take_right = tour_depth[right] < tour_depth[left]
+            table[j, :width] = np.where(take_right, right, left)
+            table[j, width:] = table[j - 1, width:]
+        self._table = table
+        self._tour_depth = tour_depth
+
+    # ------------------------------------------------------------------
+
+    def batch_lca(self, us, vs) -> np.ndarray:
+        """Vectorized LCA of ``us[i]``/``vs[i]`` (arrays broadcast together)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        fu, fv = self.first[us], self.first[vs]
+        lo = np.minimum(fu, fv)
+        hi = np.maximum(fu, fv)
+        k = self._log[hi - lo + 1]
+        a = self._table[k, lo]
+        b = self._table[k, hi - (1 << k) + 1]
+        pos = np.where(self._tour_depth[b] < self._tour_depth[a], b, a)
+        return self.tour[pos]
+
+    def is_ancestor(self, anc, desc) -> np.ndarray:
+        """Vectorized "is ``anc[i]`` an ancestor of ``desc[i]``" (inclusive)."""
+        anc = np.asarray(anc, dtype=np.int64)
+        desc = np.asarray(desc, dtype=np.int64)
+        return (self.tin[anc] <= self.tin[desc]) & (self.tout[desc] <= self.tout[anc])
+
+    def _median_grid(self, ws, us, vs, xs) -> np.ndarray:
+        """``median(u_i, v_i, x_j)`` for the full (i, j) grid.
+
+        ``ws`` must be ``lca(us, vs)`` (precomputed once per population).
+        The median of three vertices is the deepest of their pairwise
+        LCAs; with ``w = lca(u, v)`` fixed, only the two cross LCAs vary.
+        """
+        grid_u = np.broadcast_to(us[:, None], (len(us), len(xs)))
+        grid_x = np.broadcast_to(xs[None, :], (len(us), len(xs)))
+        l1 = self.batch_lca(grid_u.ravel(), grid_x.ravel()).reshape(grid_u.shape)
+        grid_v = np.broadcast_to(vs[:, None], (len(vs), len(xs)))
+        l2 = self.batch_lca(grid_v.ravel(), grid_x.ravel()).reshape(grid_v.shape)
+        w = np.broadcast_to(ws[:, None], l1.shape)
+        med = np.where(self.depth[l1] >= self.depth[w], l1, w)
+        med = np.where(self.depth[l2] >= self.depth[med], l2, med)
+        return med
+
+    def path_overlap_matrix(self, us, vs) -> np.ndarray:
+        """Pairwise edge-overlap of the paths ``path(us[i], vs[i])``.
+
+        Returns the symmetric boolean matrix ``M[i, j]`` = "paths i and j
+        share at least one edge" (diagonal True for any non-trivial path).
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        ws = self.batch_lca(us, vs)
+        m1 = self._median_grid(ws, us, vs, us)  # projection of u_j onto path i
+        m2 = self._median_grid(ws, us, vs, vs)  # projection of v_j onto path i
+        return m1 != m2

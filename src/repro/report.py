@@ -20,6 +20,7 @@ __all__ = [
     "render_gantt",
     "render_solution_summary",
     "render_comparison",
+    "render_sweep",
 ]
 
 
@@ -98,6 +99,41 @@ def render_solution_summary(solution: Solution) -> str:
         lines.append(f"OPT ≤     : {s['opt_upper_bound']:.4g} (dual certificate)")
     if "approx_guarantee" in s:
         lines.append(f"guarantee : ≤ {s['approx_guarantee']:.3g}× off optimal")
+    return "\n".join(lines)
+
+
+def render_sweep(results: Sequence) -> str:
+    """Tabulate :class:`~repro.runners.batch.RunResult` records.
+
+    One row per job: problem label, solver, seed, profit, size, rounds,
+    realized λ, wall-clock, cache/error status.
+    """
+    headers = ["problem", "solver", "seed", "profit", "size", "rounds",
+               "λ", "time", "status"]
+    rows: list[list[str]] = []
+    for r in results:
+        stats = r.stats or {}
+        seed = (r.params or {}).get("seed", "-")
+        rounds = stats.get("total_rounds", stats.get("rounds", "-"))
+        lam = stats.get("realized_lambda")
+        status = "error" if r.error else ("cached" if r.cache_hit else "ok")
+        rows.append([
+            r.label,
+            r.solver,
+            str(seed),
+            f"{r.profit:.2f}",
+            str(r.size),
+            str(rounds),
+            "-" if lam is None else f"{lam:.3f}",
+            f"{r.elapsed:.2f}s",
+            status,
+        ])
+    widths = [max(len(h), *(len(row[i]) for row in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
 
 

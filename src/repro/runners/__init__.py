@@ -1,0 +1,13 @@
+"""Batch experiment execution: parallel runners, caching, benchmarks."""
+
+from .batch import BatchRunner, Job, RunResult
+from .hotpath import build_line_case, build_tree_case, run_hotpath_bench
+
+__all__ = [
+    "BatchRunner",
+    "Job",
+    "RunResult",
+    "build_line_case",
+    "build_tree_case",
+    "run_hotpath_bench",
+]

@@ -1,0 +1,270 @@
+"""Hot-path micro-benchmark: vectorized core vs the scalar reference.
+
+Times the two operations the engine spends its life in —
+
+* **conflict queries**: building the conflict index and computing the
+  conflict adjacency of a population (the per-step MIS input), plus the
+  phase-2 "which candidates clash with the active set" probe;
+* **dual raises**: the unsatisfied-constraint filter (`lhs` over a whole
+  group) and raising an entire MIS to tightness;
+
+on a ~5k-demand line instance and a deep-tree instance, against the
+retained scalar reference implementation (``tests/helpers.py``).  Results
+are written as JSON (``BENCH_hotpath.json``) so later changes can track
+the perf trajectory.
+
+The scalar reference lives in the test tree on purpose — it is frozen.
+When it is not importable (e.g. an installed package without the repo
+checkout) the benchmark still runs and reports vectorized timings only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["build_line_case", "build_tree_case", "run_hotpath_bench"]
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _best_of_fresh(setup: Callable[[], object], work: Callable[[object], object],
+                   repeats: int = 3) -> float:
+    """Best-of timing of ``work`` on a fresh ``setup()`` state per repeat.
+
+    Keeps one-time construction out of the timed region — the engine
+    builds its dual store once but runs the filter/raise cycle thousands
+    of times.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        state = setup()
+        t0 = time.perf_counter()
+        work(state)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def build_line_case(m: int = 5000, seed: int = 0):
+    """A ~``m``-demand single-resource line instance, one placement each."""
+    from ..core.instance import LineProblem
+    from ..core.demand import WindowDemand
+    from ..network.line import LineNetwork
+
+    rng = np.random.default_rng(seed)
+    n_slots = max(4 * m, 256)
+    demands = []
+    for i in range(m):
+        length = int(rng.integers(16, 64))
+        start = int(rng.integers(0, n_slots - length))
+        demands.append(
+            WindowDemand(
+                demand_id=i,
+                release=start,
+                deadline=start + length - 1,
+                proc_time=length,
+                profit=float(rng.uniform(1.0, 10.0)),
+            )
+        )
+    problem = LineProblem(
+        n_slots=n_slots,
+        resources=[LineNetwork(n_slots, network_id=0)],
+        demands=demands,
+    )
+    return problem, None
+
+
+def build_tree_case(m: int = 1200, n: int = 2500, seed: int = 0):
+    """Random demands on one deep path-shaped tree (long routes)."""
+    from ..core.demand import Demand
+    from ..core.instance import TreeProblem
+    from ..workloads import make_tree
+
+    rng = np.random.default_rng(seed)
+    net = make_tree(n, "path", seed=seed)
+    demands = []
+    for i in range(m):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n - 1))
+        if v >= u:
+            v += 1
+        demands.append(Demand(i, u, v, profit=float(rng.uniform(1.0, 10.0))))
+    problem = TreeProblem(n=n, networks=[net], demands=demands)
+    return problem, {0: net}
+
+
+def _bench_case(problem, trees, scalar, pop_cap: int, seed: int = 0) -> dict:
+    """Time conflict queries + dual raises, vectorized vs scalar."""
+    from ..core.conflict import ConflictIndex
+    from ..core.duals import DualState
+    from ..distributed.mis import greedy_mis
+
+    instances = problem.instances()
+    edges_of = [frozenset(problem.global_edges_of(d)) for d in instances]
+    n = len(instances)
+    rng = np.random.default_rng(seed)
+    pop = sorted(
+        rng.choice(n, size=min(pop_cap, n), replace=False).tolist()
+    )
+    out: dict = {"instances": n, "population": len(pop)}
+
+    # ---- conflict index: construction + population adjacency ----------
+    out["vec_build_s"] = _best_of(
+        lambda: ConflictIndex(instances, edges_of, trees=trees), 1
+    )
+    ci = ConflictIndex(instances, edges_of, trees=trees)
+    out["vec_adjacency_s"] = _best_of(lambda: ci.adjacency(pop))
+    adj = ci.adjacency(pop)
+
+    # ---- phase-2 probe: candidates vs a grown active set --------------
+    mis, _ = greedy_mis(adj)
+    mis_sorted = sorted(mis)
+    half = mis_sorted[: len(mis_sorted) // 2]
+    rest = mis_sorted[len(mis_sorted) // 2:]
+
+    def vec_active_probe():
+        act = ci.active_set()
+        act.add_all(half)
+        return act.blocked_mask(np.asarray(pop, dtype=np.int64))
+
+    out["vec_active_probe_s"] = _best_of(vec_active_probe)
+
+    # ---- dual raises: unsat filter + raising a whole MIS --------------
+    profits = [d.profit for d in instances]
+    heights = [d.height for d in instances]
+    demand_of = [d.demand_id for d in instances]
+    crit = {
+        i: tuple(sorted(edges_of[i]))[:3] for i in range(n)
+    }
+
+    def vec_duals_setup():
+        ds = DualState(profits, heights, demand_of, edges_of, log_raises=False)
+        ds.set_critical(crit)
+        return ds
+
+    pop_arr = np.asarray(pop, dtype=np.int64)
+    mis_arr = np.asarray(mis_sorted, dtype=np.int64)
+    rest_arr = np.asarray(rest, dtype=np.int64)
+
+    def vec_duals_work(ds):
+        plan = ds.make_plan(pop_arr)
+        for _ in range(10):
+            ds.unsatisfied_mask(pop_arr, 0.9, plan=plan)
+        ds.raise_unit_batch(mis_arr)
+        for _ in range(10):
+            ds.unsatisfied_mask(pop_arr, 0.95, plan=plan)
+        ds.raise_unit_batch(rest_arr)
+
+    out["vec_duals_s"] = _best_of_fresh(vec_duals_setup, vec_duals_work)
+    out["vectorized_total_s"] = (
+        out["vec_adjacency_s"] + out["vec_active_probe_s"] + out["vec_duals_s"]
+    )
+
+    if scalar is None:
+        return out
+
+    # ---- same workload through the frozen scalar reference ------------
+    out["scalar_build_s"] = _best_of(
+        lambda: scalar.ScalarConflictIndex(instances, edges_of), 1
+    )
+    sci = scalar.ScalarConflictIndex(instances, edges_of)
+    out["scalar_adjacency_s"] = _best_of(lambda: sci.subgraph(pop))
+
+    def scalar_active_probe():
+        used_edges: set = set()
+        used_demands: set = set()
+        for iid in half:
+            used_edges |= edges_of[iid]
+            used_demands.add(instances[iid].demand_id)
+        return [
+            instances[iid].demand_id in used_demands
+            or bool(edges_of[iid] & used_edges)
+            for iid in pop
+        ]
+
+    out["scalar_active_probe_s"] = _best_of(scalar_active_probe)
+
+    def scalar_duals_setup():
+        return scalar.ScalarDualState(profits, heights, demand_of, edges_of)
+
+    def scalar_duals_work(ds):
+        for _ in range(10):
+            for iid in pop:
+                ds.lhs(iid)
+        for iid in mis_sorted:
+            ds.raise_unit(iid, crit[iid])
+        for _ in range(10):
+            for iid in pop:
+                ds.lhs(iid)
+        for iid in rest:
+            ds.raise_unit(iid, crit[iid])
+
+    out["scalar_duals_s"] = _best_of_fresh(scalar_duals_setup, scalar_duals_work)
+    out["scalar_total_s"] = (
+        out["scalar_adjacency_s"]
+        + out["scalar_active_probe_s"]
+        + out["scalar_duals_s"]
+    )
+    out["speedup"] = out["scalar_total_s"] / max(out["vectorized_total_s"], 1e-12)
+    out["speedup_conflict"] = (
+        (out["scalar_adjacency_s"] + out["scalar_active_probe_s"])
+        / max(out["vec_adjacency_s"] + out["vec_active_probe_s"], 1e-12)
+    )
+    out["speedup_duals"] = out["scalar_duals_s"] / max(out["vec_duals_s"], 1e-12)
+    return out
+
+
+def _load_scalar_reference():
+    """Import the frozen scalar reference from the repo's test tree."""
+    try:
+        from tests import helpers  # repo checkout, cwd = repo root
+        return helpers
+    except ImportError:
+        return None
+
+
+def run_hotpath_bench(
+    smoke: bool = False,
+    out_path: str | None = None,
+    scalar=None,
+) -> dict:
+    """Run both cases; returns (and optionally writes) the report dict.
+
+    ``smoke=True`` shrinks the instances so CI can execute the benchmark
+    in seconds; the speedup numbers are then indicative only.
+    """
+    if scalar is None:
+        scalar = _load_scalar_reference()
+    if smoke:
+        line_m, tree_m, tree_n, pop_cap = 400, 200, 400, 300
+    else:
+        line_m, tree_m, tree_n, pop_cap = 5000, 1200, 2500, 1500
+
+    report: dict = {"smoke": smoke, "scalar_reference": scalar is not None,
+                    "cases": {}}
+    problem, trees = build_line_case(m=line_m)
+    report["cases"]["line"] = _bench_case(problem, trees, scalar, pop_cap)
+    problem, trees = build_tree_case(m=tree_m, n=tree_n)
+    report["cases"]["tree"] = _bench_case(problem, trees, scalar, pop_cap)
+
+    if scalar is not None:
+        total_scalar = sum(c["scalar_total_s"] for c in report["cases"].values())
+        total_vec = sum(
+            c["vectorized_total_s"] for c in report["cases"].values()
+        )
+        report["combined_speedup"] = total_scalar / max(total_vec, 1e-12)
+
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+    return report

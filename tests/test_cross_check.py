@@ -1,0 +1,109 @@
+"""Randomized cross-checks: vectorized engine ≡ frozen scalar reference.
+
+For 200+ random small instances spanning both problem families, all MIS
+backends and both raising rules, the refactored vectorized engine must
+return *byte-identical* selected sets and profits to the pre-refactor
+scalar path kept in ``tests/helpers.py`` — same instances, same order,
+same floats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    compile_line,
+    compile_tree,
+    random_line_problem,
+    random_tree_problem,
+)
+from repro.algorithms.framework import EngineConfig, TwoPhaseEngine
+
+from helpers import ScalarTwoPhaseEngine
+
+
+def _run_both(inp, cfg):
+    vec_sel, vec_stats = TwoPhaseEngine(inp, cfg).run()
+    ref_sel, ref_stats = ScalarTwoPhaseEngine(inp, cfg).run()
+    return (vec_sel, vec_stats), (ref_sel, ref_stats)
+
+
+def _assert_identical(inp, cfg, label):
+    (vec_sel, _), (ref_sel, _) = _run_both(inp, cfg)
+    vec_ids = [d.instance_id for d in vec_sel]
+    ref_ids = [d.instance_id for d in ref_sel]
+    assert vec_ids == ref_ids, f"{label}: selected sets differ"
+    vec_profit = sum(d.profit for d in vec_sel)
+    ref_profit = sum(d.profit for d in ref_sel)
+    assert vec_profit == ref_profit, f"{label}: profits differ bitwise"
+
+
+class TestTreeUnitCrossCheck:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_byte_identical(self, seed):
+        p = random_tree_problem(n=12, m=8, r=2, seed=seed)
+        inp = compile_tree(p)
+        mis = ("luby", "greedy", "priority")[seed % 3]
+        cfg = EngineConfig(rule="unit", epsilon=0.15, mis=mis, seed=seed)
+        _assert_identical(inp, cfg, f"tree-unit seed={seed} mis={mis}")
+
+
+class TestLineUnitCrossCheck:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_byte_identical(self, seed):
+        p = random_line_problem(n_slots=18, m=7, r=2, seed=seed, max_len=6)
+        inp = compile_line(p)
+        mis = ("luby", "greedy", "priority")[seed % 3]
+        cfg = EngineConfig(rule="unit", epsilon=0.15, mis=mis, seed=seed)
+        _assert_identical(inp, cfg, f"line-unit seed={seed} mis={mis}")
+
+
+class TestNarrowCrossCheck:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_tree_narrow(self, seed):
+        p = random_tree_problem(n=12, m=8, r=1, seed=seed,
+                                height_regime="narrow", hmin=0.15)
+        inp = compile_tree(p, instance_filter=lambda d: d.narrow)
+        cfg = EngineConfig(rule="narrow", epsilon=0.2, hmin=0.15,
+                           mis=("luby", "greedy")[seed % 2], seed=seed,
+                           capacity_phase2=True)
+        _assert_identical(inp, cfg, f"tree-narrow seed={seed}")
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_line_narrow(self, seed):
+        p = random_line_problem(n_slots=16, m=7, r=1, seed=seed, max_len=5,
+                                height_regime="narrow", hmin=0.1)
+        inp = compile_line(p, instance_filter=lambda d: d.narrow)
+        cfg = EngineConfig(rule="narrow", epsilon=0.2, hmin=0.1,
+                           mis=("luby", "greedy")[seed % 2], seed=seed,
+                           capacity_phase2=True)
+        _assert_identical(inp, cfg, f"line-narrow seed={seed}")
+
+
+class TestSingleStageCrossCheck:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_ps_style_single_stage(self, seed):
+        p = random_line_problem(n_slots=18, m=8, r=2, seed=seed, max_len=6)
+        inp = compile_line(p)
+        cfg = EngineConfig(rule="unit", single_stage_target=1 / 5.1,
+                           mis=("luby", "greedy")[seed % 2], seed=seed)
+        _assert_identical(inp, cfg, f"single-stage seed={seed}")
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_sequential_style_full_target(self, seed):
+        p = random_tree_problem(n=12, m=7, r=1, seed=seed, profit_ratio=32.0)
+        inp = compile_tree(p)
+        cfg = EngineConfig(rule="unit", single_stage_target=1.0,
+                           mis="greedy", raise_alpha=(seed % 2 == 0))
+        _assert_identical(inp, cfg, f"sequential-style seed={seed}")
+
+
+class TestMixedRegimeCrossCheck:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_mixed_heights_unit_engine(self, seed):
+        p = random_tree_problem(n=14, m=9, r=2, seed=seed,
+                                height_regime="mixed")
+        inp = compile_tree(p)
+        cfg = EngineConfig(rule="unit", epsilon=0.1,
+                           mis=("luby", "greedy")[seed % 2], seed=seed)
+        _assert_identical(inp, cfg, f"mixed seed={seed}")

@@ -1,0 +1,98 @@
+"""Tests for the declarative solver registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    random_line_problem,
+    random_tree_problem,
+    solve_sequential_tree,
+    solve_tree_unit,
+)
+from repro.algorithms import registry
+
+
+REQUIRED_NAMES = {
+    "tree-unit", "tree-narrow", "tree-arbitrary", "sequential",
+    "line-unit", "line-narrow", "line-arbitrary",
+    "ps-baseline", "ps-line-unit", "ps-line-arbitrary",
+    "greedy", "exact",
+}
+
+
+class TestRegistryContents:
+    def test_required_names_registered(self):
+        assert REQUIRED_NAMES <= set(registry.names())
+
+    def test_specs_have_descriptions(self):
+        for spec in registry.specs():
+            assert spec.description
+            assert spec.family in ("tree", "line", "any")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="tree-unit"):
+            registry.get("no-such-solver")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            registry.register("tree-unit", family="tree", description="dup")(
+                lambda p: None
+            )
+
+
+class TestResolution:
+    def test_auto_tree_unit(self):
+        p = random_tree_problem(n=10, m=6, r=1, seed=0)
+        assert registry.resolve("auto", p).name == "tree-unit"
+
+    def test_auto_tree_arbitrary(self):
+        p = random_tree_problem(n=10, m=6, r=1, seed=0, height_regime="mixed")
+        assert registry.resolve("auto", p).name == "tree-arbitrary"
+
+    def test_auto_line(self):
+        p = random_line_problem(n_slots=16, m=6, r=1, seed=0)
+        assert registry.resolve("auto", p).name == "line-unit"
+
+    def test_family_mismatch_rejected(self):
+        p = random_tree_problem(n=10, m=6, r=1, seed=0)
+        with pytest.raises(ValueError, match="needs a line problem"):
+            registry.resolve("line-unit", p)
+        lp = random_line_problem(n_slots=16, m=6, r=1, seed=0)
+        with pytest.raises(ValueError, match="needs a tree problem"):
+            registry.resolve("tree-unit", lp)
+
+    def test_any_family_accepts_both(self):
+        p = random_tree_problem(n=10, m=6, r=1, seed=0)
+        lp = random_line_problem(n_slots=16, m=6, r=1, seed=0)
+        assert registry.resolve("greedy", p).name == "greedy"
+        assert registry.resolve("greedy", lp).name == "greedy"
+
+
+class TestDispatch:
+    def test_matches_direct_call(self):
+        p = random_tree_problem(n=14, m=10, r=2, seed=3)
+        via_registry = registry.solve("tree-unit", p, epsilon=0.2, seed=3)
+        direct = solve_tree_unit(p, epsilon=0.2, seed=3)
+        assert via_registry.profit == direct.profit
+        assert [d.instance_id for d in via_registry.selected] == [
+            d.instance_id for d in direct.selected
+        ]
+
+    def test_kwargs_filtered_per_solver(self):
+        p = random_tree_problem(n=12, m=8, r=1, seed=4)
+        # sequential accepts neither epsilon nor mis; they must be dropped.
+        via_registry = registry.solve(
+            "sequential", p, epsilon=0.3, mis="luby", seed=9, hmin=0.2
+        )
+        direct = solve_sequential_tree(p)
+        assert via_registry.profit == direct.profit
+
+    def test_ps_baseline_dispatches_on_regime(self):
+        unit = random_line_problem(n_slots=20, m=8, r=1, seed=5)
+        mixed = random_line_problem(n_slots=20, m=8, r=1, seed=5,
+                                    height_regime="mixed")
+        s1 = registry.solve("ps-baseline", unit, epsilon=0.2, seed=5)
+        s2 = registry.solve("ps-baseline", mixed, epsilon=0.2, seed=5)
+        assert "ps-line-unit" in s1.stats["algorithm"]
+        assert "arbitrary" in s2.stats["algorithm"]

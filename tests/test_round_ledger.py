@@ -1,0 +1,58 @@
+"""Regression tests: engine-charged rounds ≡ SyncSimulator's round count.
+
+The simulator maintains two ledgers independently — the global
+``SimStats.rounds`` counter (incremented per executed round) and the
+per-phase charges recorded by ``run_phase``.  The protocol runtime must
+reconcile them; a drifting ledger means a phase ran outside the round
+accounting the complexity theorems are stated in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LineUnitRuntime,
+    TreeUnitRuntime,
+    random_line_problem,
+    random_tree_problem,
+)
+
+
+class TestRoundLedger:
+    def test_tree_runtime_ledgers_agree(self):
+        p = random_tree_problem(n=12, m=8, r=2, seed=1)
+        rt = TreeUnitRuntime(p, epsilon=0.2)
+        sol = rt.run()
+        assert sol.stats["rounds_charged"] == sol.stats["rounds"]
+        assert (
+            sol.stats["phase1_rounds"]
+            + sol.stats["phase2_rounds"]
+            + sol.stats["drain_rounds"]
+            == sol.stats["rounds"]
+        )
+        assert sol.stats["phase1_rounds"] > 0
+
+    def test_line_runtime_ledgers_agree(self):
+        p = random_line_problem(n_slots=16, m=6, r=2, seed=2, max_len=5)
+        rt = LineUnitRuntime(p, epsilon=0.2)
+        sol = rt.run()
+        assert sol.stats["rounds_charged"] == sol.stats["rounds"]
+
+    def test_verify_detects_phantom_charge(self):
+        p = random_tree_problem(n=10, m=6, r=1, seed=3)
+        rt = TreeUnitRuntime(p, epsilon=0.2)
+        rt.run()
+        # Simulate a drifted ledger: a phase charged but never executed.
+        rt.sim.stats.charge("phantom-phase", 5)
+        with pytest.raises(RuntimeError, match="round-ledger mismatch"):
+            rt.verify_round_ledger()
+
+    def test_verify_detects_uncharged_rounds(self):
+        p = random_tree_problem(n=10, m=6, r=1, seed=4)
+        rt = TreeUnitRuntime(p, epsilon=0.2)
+        rt.run()
+        # Simulate rounds executed outside any charged phase.
+        rt.sim.stats.rounds += 3
+        with pytest.raises(RuntimeError, match="round-ledger mismatch"):
+            rt.verify_round_ledger()

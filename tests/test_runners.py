@@ -1,0 +1,111 @@
+"""Tests for the batch runner subsystem (jobs, caching, pooling)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import BatchRunner, Job, random_tree_problem, save_problem
+from repro.algorithms import registry
+from repro.io import problem_to_dict
+from repro.runners.batch import RunResult
+
+
+@pytest.fixture
+def tree_doc():
+    return problem_to_dict(random_tree_problem(n=12, m=8, r=2, seed=7))
+
+
+@pytest.fixture
+def tree_path(tmp_path):
+    path = tmp_path / "tree.json"
+    save_problem(random_tree_problem(n=12, m=8, r=2, seed=7), str(path))
+    return str(path)
+
+
+class TestJob:
+    def test_document_from_path_and_dict(self, tree_path, tree_doc):
+        # Path jobs load the JSON form (tuples become lists); the content
+        # must round-trip to the same problem document.
+        loaded = Job(tree_path, "greedy").document()
+        assert loaded == json.loads(json.dumps(tree_doc))
+        assert Job(tree_doc, "greedy").document() is tree_doc
+
+    def test_cache_key_stable_and_discriminating(self, tree_doc):
+        a = Job(tree_doc, "tree-unit", params={"epsilon": 0.1}, seed=0)
+        b = Job(tree_doc, "tree-unit", params={"epsilon": 0.1}, seed=0)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != Job(tree_doc, "tree-unit",
+                                    params={"epsilon": 0.2}, seed=0).cache_key()
+        assert a.cache_key() != Job(tree_doc, "tree-unit",
+                                    params={"epsilon": 0.1}, seed=1).cache_key()
+        assert a.cache_key() != Job(tree_doc, "sequential").cache_key()
+
+    def test_label_defaults(self, tree_path, tree_doc):
+        assert Job(tree_path, "greedy").display_label() == "tree"
+        assert Job(tree_doc, "greedy").display_label() == "<inline>"
+        assert Job(tree_doc, "greedy", label="x").display_label() == "x"
+
+
+class TestBatchRunner:
+    def test_inline_matches_direct_solve(self, tree_doc):
+        jobs = [Job(tree_doc, "tree-unit", params={"epsilon": 0.2}, seed=3),
+                Job(tree_doc, "greedy")]
+        results = BatchRunner(processes=1).run(jobs)
+        assert [r.error for r in results] == [None, None]
+        p = random_tree_problem(n=12, m=8, r=2, seed=7)
+        direct = registry.solve("tree-unit", p, epsilon=0.2, seed=3)
+        assert results[0].profit == direct.profit
+        assert results[0].size == direct.size
+        assert results[0].solver == "tree-unit"
+
+    def test_parallel_matches_inline(self, tree_doc):
+        jobs = [Job(tree_doc, "tree-unit", params={"epsilon": 0.2}, seed=s)
+                for s in range(4)]
+        inline = BatchRunner(processes=1).run(jobs)
+        pooled = BatchRunner(processes=2).run(jobs)
+        assert [r.profit for r in inline] == [r.profit for r in pooled]
+
+    def test_cache_roundtrip(self, tree_doc, tmp_path):
+        cache = str(tmp_path / "cache")
+        runner = BatchRunner(processes=1, cache_dir=cache)
+        jobs = [Job(tree_doc, "tree-unit", params={"epsilon": 0.2}, seed=0)]
+        first = runner.run(jobs)
+        assert not first[0].cache_hit
+        second = runner.run(jobs)
+        assert second[0].cache_hit
+        assert second[0].profit == first[0].profit
+        # the cache file is valid standalone JSON
+        doc = json.load(open(runner._cache_path(jobs[0].cache_key())))
+        assert doc["profit"] == first[0].profit
+
+    def test_errors_captured_not_raised(self, tree_doc):
+        results = BatchRunner(processes=1).run(
+            [Job(tree_doc, "no-such-solver")]
+        )
+        assert results[0].error is not None
+        assert "no-such-solver" in results[0].error
+        # errors are not cached
+        assert results[0].cache_hit is False
+
+    def test_family_mismatch_becomes_error(self, tree_doc):
+        results = BatchRunner(processes=1).run([Job(tree_doc, "line-unit")])
+        assert results[0].error is not None
+
+    def test_run_grid_order(self, tree_doc):
+        runner = BatchRunner(processes=1)
+        results = runner.run_grid([tree_doc], ["greedy", "sequential"],
+                                  seeds=[0, 1])
+        assert [(r.solver, (r.params or {}).get("seed"))
+                for r in results] == [
+            ("greedy", 0), ("greedy", 1),
+            ("sequential", 0), ("sequential", 1),
+        ]
+
+    def test_results_json_roundtrip(self, tree_doc):
+        results = BatchRunner(processes=1).run([Job(tree_doc, "greedy")])
+        doc = results[0].to_dict()
+        json.dumps(doc)  # must be serialisable
+        back = RunResult.from_dict(doc)
+        assert back.profit == results[0].profit
