@@ -1,0 +1,93 @@
+"""Online admission-control throughput benchmark.
+
+Replays seeded Poisson traces of 10k and 100k events (2k in smoke mode)
+through each admission policy and records events/second, per-event
+latency percentiles, acceptance and realized profit.  Results are
+written as JSON (``BENCH_online.json``) so later changes can track the
+online hot path the way ``BENCH_hotpath.json`` tracks the offline one.
+
+The batch-resolve policy runs with the ``greedy`` registry solver at a
+1024-arrival cadence — the exact solver is an offline benchmark, not a
+throughput policy.  Verification of the final admitted set stays ON:
+feasibility checking is part of the work a production admission layer
+cannot skip.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_online.py [--smoke] [-o OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+POLICIES = [
+    ("greedy-threshold", {}),
+    ("dual-gated", {}),
+    ("batch-resolve", {"solver": "greedy", "resolve_every": 1024}),
+]
+
+
+def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
+    """Run every policy over every trace size; return the report dict."""
+    from repro.online import generate_trace, make_policy, replay
+
+    sizes = [2_000] if smoke else [10_000, 100_000]
+    report: dict = {"smoke": smoke, "cases": {}}
+    for events in sizes:
+        trace = generate_trace(
+            "line", events=events, process="poisson", seed=0,
+            departure_prob=0.35,
+            # Scale the timeline with the stream so the benchmark keeps
+            # exercising admissions, not just saturated-reject probes.
+            workload={"n_slots": max(512, events // 8)},
+        )
+        case: dict = {
+            "events": len(trace.events),
+            "arrivals": trace.num_arrivals,
+            "departures": trace.num_departures,
+            "instances": len(trace.problem.instances()),
+            "policies": {},
+        }
+        for name, kwargs in POLICIES:
+            result = replay(trace, make_policy(name, **kwargs))
+            m = result.metrics
+            case["policies"][name] = {
+                "events_per_sec": m.events_per_sec,
+                "elapsed_s": m.elapsed_s,
+                "accepted": m.accepted,
+                "acceptance_ratio": m.acceptance_ratio,
+                "realized_profit": m.realized_profit,
+                "latency_p50_us": m.latency_p50_us,
+                "latency_p99_us": m.latency_p99_us,
+            }
+        report["cases"][str(events)] = case
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="one small trace, seconds instead of minutes")
+    ap.add_argument("-o", "--output", default="BENCH_online.json")
+    args = ap.parse_args(argv)
+    report = run_online_bench(smoke=args.smoke, out_path=args.output)
+    for events, case in report["cases"].items():
+        print(f"{events} events ({case['arrivals']} arrivals, "
+              f"{case['instances']} instances):")
+        for name, rec in case["policies"].items():
+            print(f"  {name:<18} {rec['events_per_sec']:>9.0f} ev/s  "
+                  f"acc {100 * rec['acceptance_ratio']:.1f}%  "
+                  f"profit {rec['realized_profit']:.1f}  "
+                  f"p99 {rec['latency_p99_us']:.0f}µs")
+    print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Online admission control on a bursty arrival stream.
+
+Generates one bursty line-network trace — demands arriving in dense
+bursts separated by quiet stretches, ~40% of them departing and freeing
+their bandwidth — and replays the *identical* stream through all three
+admission policies:
+
+* ``greedy-threshold`` — first-fit whatever clears a profit-density bar;
+* ``dual-gated``       — admit only demands whose profit beats the
+  exponential dual price of their route at its current load;
+* ``batch-resolve``    — buffer arrivals and periodically re-solve the
+  buffer with a registry solver, never preempting prior admissions.
+
+Every policy is then scored against the offline optimum of the frozen
+trace (the exact MILP — the clairvoyant scheduler that saw the whole
+stream in advance).
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/online_admission_demo.py
+"""
+
+from repro.online import (
+    bursty_trace,
+    make_policy,
+    offline_optimum,
+    replay,
+    with_offline,
+)
+from repro.report import render_replay
+
+
+def main() -> None:
+    trace = bursty_trace(
+        "line", events=600, seed=42, departure_prob=0.4, rate=1.5,
+    )
+    print(
+        f"bursty trace: {len(trace.events)} events over "
+        f"{trace.horizon:.0f} time units — {trace.num_arrivals} arrivals, "
+        f"{trace.num_departures} departures, "
+        f"{len(trace.problem.instances())} placement instances\n"
+    )
+
+    print("offline benchmark: exact MILP over the frozen demand set ...")
+    opt = offline_optimum(trace, "exact")
+    print(f"offline optimum profit: {opt:.2f}\n")
+
+    metrics = []
+    for name, kwargs in [
+        ("greedy-threshold", {"threshold": 0.0}),
+        ("dual-gated", {"eta": 1.0}),
+        ("batch-resolve", {"solver": "greedy", "resolve_every": 64}),
+    ]:
+        result = replay(trace, make_policy(name, **kwargs))
+        metrics.append(with_offline(result.metrics, opt))
+        interesting = {k: v for k, v in result.policy_stats.items() if v}
+        if interesting:
+            print(f"{name} internals: {interesting}")
+    print()
+    print(render_replay(metrics))
+    print(
+        "\nNote: with departures in the stream, capacity freed mid-trace\n"
+        "can be re-sold, so a policy may even exceed the frozen offline\n"
+        "optimum on heavily-churning traces (ALG/OPT > 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

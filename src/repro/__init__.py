@@ -73,26 +73,66 @@ from .capacitated import (
     solve_tree_capacitated,
 )
 from .distributed import LineUnitRuntime, ProtocolRuntime, SyncSimulator, TreeUnitRuntime
-from .io import load_problem, load_solution, save_problem, save_solution
+from .io import (
+    load_problem,
+    load_solution,
+    load_trace,
+    save_problem,
+    save_solution,
+    save_trace,
+)
 from .network import LineNetwork, TreeNetwork, line_as_tree
+from .online import (
+    ARRIVAL_PROCESSES,
+    AdmissionPolicy,
+    Arrival,
+    CapacityLedger,
+    Departure,
+    EventTrace,
+    POLICY_NAMES,
+    ReplayMetrics,
+    ReplayResult,
+    Tick,
+    bursty_trace,
+    diurnal_trace,
+    generate_trace,
+    make_policy,
+    offline_optimum,
+    poisson_trace,
+    replay,
+    with_offline,
+)
 from .report import (
     render_comparison,
     render_decomposition,
     render_gantt,
+    render_replay,
     render_solution_summary,
     render_sweep,
     render_tree,
 )
-from .runners import BatchRunner, Job, RunResult
+from .runners import BatchRunner, Job, ReplayJob, ReplayRunner, RunResult
 from .workloads import TREE_TOPOLOGIES, make_tree, random_line_problem, random_tree_problem
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "AdmissionPolicy",
+    "Arrival",
     "BatchRunner",
+    "CapacityLedger",
     "ConflictIndex",
     "Demand",
+    "Departure",
     "DualState",
+    "EventTrace",
+    "POLICY_NAMES",
+    "ReplayJob",
+    "ReplayMetrics",
+    "ReplayResult",
+    "ReplayRunner",
+    "Tick",
     "EngineConfig",
     "EngineInput",
     "FeasibilityError",
@@ -116,18 +156,29 @@ __all__ = [
     "TreeUnitRuntime",
     "balancing_decomposition",
     "brute_force_optimal",
+    "bursty_trace",
+    "diurnal_trace",
+    "generate_trace",
     "load_problem",
     "load_solution",
+    "load_trace",
+    "make_policy",
+    "offline_optimum",
+    "poisson_trace",
+    "replay",
+    "with_offline",
     "lp_upper_bound_capacitated",
     "normalize_uniform_capacity",
     "render_comparison",
     "render_decomposition",
     "render_gantt",
+    "render_replay",
     "render_solution_summary",
     "render_sweep",
     "render_tree",
     "save_problem",
     "save_solution",
+    "save_trace",
     "solve_line_capacitated",
     "solve_optimal_capacitated",
     "solve_tree_capacitated",

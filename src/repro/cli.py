@@ -6,6 +6,7 @@ python -m repro solve     problem.json --algorithm tree-unit --epsilon 0.1
 python -m repro compare   problem.json
 python -m repro sweep     a.json b.json --solvers tree-unit,sequential --seeds 0,1,2
 python -m repro bench     --smoke
+python -m repro replay    --policy dual-gated --events 10000
 python -m repro decompose --topology caterpillar --n 32
 ```
 
@@ -14,7 +15,9 @@ certificate) and optionally writes the solution JSON; ``compare`` runs
 the paper's algorithm, the relevant baseline, greedy, and the exact
 optimum side by side; ``sweep`` fans (instance, solver, seed) jobs across
 a process pool with result caching; ``bench`` times the vectorized hot
-path; ``decompose`` prints the Section 4 decomposition table.
+path; ``replay`` streams an event trace through an online admission
+policy (generating and optionally saving the trace on the fly);
+``decompose`` prints the Section 4 decomposition table.
 
 Algorithm names are resolved through the solver registry
 (:mod:`repro.algorithms.registry`); ``--algorithm help`` or the epilog of
@@ -30,6 +33,68 @@ import sys
 from .core.instance import TreeProblem
 
 __all__ = ["main", "build_parser"]
+
+
+def _int_arg(name: str, minimum: int | None = None):
+    """An argparse ``type`` that fails with a friendly message, not a
+    traceback, on non-integers and out-of-range values."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be an integer, got {text!r}"
+            )
+        if minimum is not None and value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be >= {minimum}, got {value}"
+            )
+        return value
+
+    return parse
+
+
+def _float_arg(name: str, lo: float | None = None, hi: float | None = None):
+    """Like :func:`_int_arg` for floats, with an optional closed range."""
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be a number, got {text!r}"
+            )
+        if (lo is not None and value < lo) or (hi is not None and value > hi):
+            span = (f"in [{lo}, {hi}]" if hi is not None else f">= {lo}")
+            raise argparse.ArgumentTypeError(
+                f"{name} must be {span}, got {value}"
+            )
+        return value
+
+    return parse
+
+
+def _seed_list(text: str) -> list[int]:
+    """Parse ``--seeds 0,1,2`` with a friendly error on bad entries."""
+    seeds: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            seeds.append(int(part))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"seeds must be comma-separated integers, got {part!r}"
+            )
+        if seeds[-1] < 0:
+            raise argparse.ArgumentTypeError(
+                f"seeds must be non-negative, got {seeds[-1]}"
+            )
+    if not seeds:
+        raise argparse.ArgumentTypeError("need at least one seed")
+    return seeds
 
 
 def _registry_epilog() -> str:
@@ -98,13 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("problems", nargs="+", help="problem JSON files")
     swp.add_argument("--solvers", default="auto",
                      help="comma-separated registry names (default: auto)")
-    swp.add_argument("--seeds", default="0",
+    swp.add_argument("--seeds", type=_seed_list, default=[0],
                      help="comma-separated seeds (default: 0)")
     swp.add_argument("--epsilon", type=float, default=0.1)
     swp.add_argument("--mis", default="luby",
                      choices=["luby", "greedy", "priority"])
-    swp.add_argument("--processes", type=int, default=None,
-                     help="pool size (default: CPU count; 1 = inline)")
+    swp.add_argument("--processes", type=_int_arg("processes", minimum=0),
+                     default=None,
+                     help="pool size (default: CPU count; 0 or 1 = inline)")
     swp.add_argument("--cache-dir", default=None,
                      help="memoise results keyed by instance hash + config")
     swp.add_argument("-o", "--output", default=None,
@@ -117,11 +183,60 @@ def build_parser() -> argparse.ArgumentParser:
                      help="small instances, seconds instead of minutes")
     ben.add_argument("-o", "--output", default="BENCH_hotpath.json")
 
+    from .online.events import ARRIVAL_PROCESSES
+    from .online.policies import POLICY_NAMES
+
+    rep = sub.add_parser(
+        "replay",
+        help="stream an event trace through an online admission policy",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    rep.add_argument("trace", nargs="?", default=None,
+                     help="trace JSON (from --save-trace); omit to "
+                          "generate one")
+    rep.add_argument("--policy", default="dual-gated", choices=POLICY_NAMES)
+    rep.add_argument("--events", type=_int_arg("events", minimum=1),
+                     default=10000,
+                     help="event budget for generated traces "
+                          "(default: 10000)")
+    rep.add_argument("--process", default="poisson",
+                     choices=ARRIVAL_PROCESSES)
+    rep.add_argument("--kind", choices=["tree", "line"], default="line")
+    rep.add_argument("--seed", type=_int_arg("seed", minimum=0),
+                     default=0)
+    rep.add_argument("--departures",
+                     type=_float_arg("departures", lo=0.0, hi=1.0),
+                     default=0.3,
+                     help="per-arrival departure probability "
+                          "(default: 0.3)")
+    rep.add_argument("--threshold",
+                     type=_float_arg("threshold", lo=0.0), default=0.0,
+                     help="greedy-threshold: min profit per route edge")
+    rep.add_argument("--eta", type=_float_arg("eta", lo=1e-9),
+                     default=1.0,
+                     help="dual-gated: gate stiffness (default: 1.0)")
+    rep.add_argument("--solver", default="greedy", metavar="NAME",
+                     help="batch-resolve: registry solver for re-solves "
+                          "(default: greedy; see epilog)")
+    rep.add_argument("--resolve-every",
+                     type=_int_arg("resolve-every", minimum=0), default=512,
+                     help="batch-resolve: flush cadence in buffered "
+                          "arrivals (default: 512; 0 = final flush only)")
+    rep.add_argument("--offline", default=None, metavar="NAME",
+                     help="also compute the offline benchmark with this "
+                          "registry solver (e.g. exact, greedy)")
+    rep.add_argument("--save-trace", default=None,
+                     help="write the (generated) trace JSON here")
+    rep.add_argument("-o", "--output", default=None,
+                     help="write the metrics JSON here")
+
     dec = sub.add_parser("decompose",
                          help="Section 4 decomposition table for a topology")
     dec.add_argument("--topology", default="random")
     dec.add_argument("--n", type=int, default=32)
-    dec.add_argument("--seed", type=int, default=0)
+    dec.add_argument("--seed", type=_int_arg("seed", minimum=0),
+                     default=0)
     return p
 
 
@@ -206,7 +321,7 @@ def _sweep(args) -> int:
     from .report import render_sweep
 
     solvers = [s.strip() for s in args.solvers.split(",") if s.strip()]
-    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    seeds = args.seeds
     params = {"epsilon": args.epsilon, "mis": args.mis}
 
     from .io import load_problem
@@ -261,6 +376,65 @@ def _bench(args) -> int:
     return 0
 
 
+def _replay(args) -> int:
+    from .algorithms import registry
+    from .io import load_trace, save_trace
+    from .online import generate_trace, make_policy, replay, with_offline
+    from .report import render_replay
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = generate_trace(
+            args.kind, events=args.events, process=args.process,
+            seed=args.seed, departure_prob=args.departures,
+        )
+        print(f"generated {args.process} {args.kind} trace: "
+              f"{len(trace.events)} events, {trace.num_arrivals} arrivals, "
+              f"{trace.num_departures} departures")
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+
+    # Validate solver names against the trace's problem family up front —
+    # friendly errors instead of a traceback after the replay has run.
+    for name in filter(None, [args.offline,
+                              args.solver if args.policy == "batch-resolve"
+                              else None]):
+        try:
+            registry.resolve(name, trace.problem)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"replay: {exc.args[0]}")
+
+    if args.policy == "greedy-threshold":
+        policy = make_policy(args.policy, threshold=args.threshold)
+    elif args.policy == "dual-gated":
+        policy = make_policy(args.policy, eta=args.eta)
+    else:
+        policy = make_policy(
+            args.policy, solver=args.solver,
+            resolve_every=args.resolve_every,
+            solver_params={"seed": args.seed},
+        )
+    result = replay(trace, policy)
+    metrics = result.metrics
+    if args.offline:
+        from .online import offline_optimum
+
+        metrics = with_offline(
+            metrics, offline_optimum(trace, args.offline, seed=args.seed)
+        )
+    print(render_replay([metrics]))
+    if args.output:
+        doc = metrics.to_dict()
+        doc["policy_stats"] = result.policy_stats
+        doc["trace_meta"] = result.trace_meta
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"metrics written to {args.output}")
+    return 0
+
+
 def _decompose(args) -> int:
     from .decomposition import (
         balancing_decomposition,
@@ -293,6 +467,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _compare,
         "sweep": _sweep,
         "bench": _bench,
+        "replay": _replay,
         "decompose": _decompose,
     }
     return handlers[args.command](args)

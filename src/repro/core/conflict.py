@@ -355,6 +355,20 @@ class ActiveConflictSet:
         """Whether one candidate conflicts with the active set."""
         return bool(self.blocked_mask(np.asarray([iid]))[0])
 
+    def edge_loads(self, iid: int) -> np.ndarray:
+        """Current load on each edge of instance ``iid``'s route.
+
+        In the index's internal CSR order — arbitrary when the index was
+        built from unordered edge sets — so the result is meant for
+        aggregation (sums, maxima, the online price functions), not for
+        zipping against the route's edge sequence.
+        """
+        return self._load[self._edges(iid)]
+
+    def max_load(self) -> float:
+        """The heaviest edge load in the active set (0.0 when empty)."""
+        return float(self._load.max()) if len(self._load) else 0.0
+
     def add(self, iid: int) -> None:
         """Insert an instance into the active set (no feasibility check)."""
         idx = self._index

@@ -1,10 +1,11 @@
-"""JSON serialization for problems and solutions.
+"""JSON serialization for problems, solutions and event traces.
 
 Lets workloads be pinned to disk (regression corpora, cross-machine
-benchmark runs) and solutions be archived next to the dual certificates
-that justify them.  The format is a stable, versioned, human-readable
-JSON document; round-trips are exact (vertex ids, profits, heights,
-access sets, selected instances).
+benchmark runs), solutions be archived next to the dual certificates
+that justify them, and online event traces be replayed bit-identically
+on other machines.  The formats are stable, versioned, human-readable
+JSON documents; round-trips are exact (vertex ids, profits, heights,
+access sets, selected instances, event times).
 """
 
 from __future__ import annotations
@@ -23,13 +24,20 @@ __all__ = [
     "problem_from_dict",
     "solution_to_dict",
     "solution_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
     "save_problem",
     "load_problem",
     "save_solution",
     "load_solution",
+    "save_trace",
+    "load_trace",
 ]
 
 FORMAT_VERSION = 1
+
+#: Version of the event-trace document (independent of the problem format).
+TRACE_FORMAT_VERSION = 1
 
 
 def problem_to_dict(problem) -> dict:
@@ -164,6 +172,61 @@ def solution_from_dict(doc: dict, problem) -> Solution:
     return Solution(selected=selected, stats=dict(doc.get("stats", {})))
 
 
+def trace_to_dict(trace) -> dict:
+    """Serialize an :class:`~repro.online.events.EventTrace`.
+
+    The embedded problem uses the problem format (version
+    :data:`FORMAT_VERSION`); the trace envelope carries its own
+    :data:`TRACE_FORMAT_VERSION` so the two can evolve independently.
+    """
+    from .online.events import Arrival, Departure, Tick
+
+    events = []
+    for ev in trace.events:
+        if isinstance(ev, Arrival):
+            events.append({"type": "arrival", "time": ev.time,
+                           "demand": ev.demand_id})
+        elif isinstance(ev, Departure):
+            events.append({"type": "departure", "time": ev.time,
+                           "demand": ev.demand_id})
+        elif isinstance(ev, Tick):
+            events.append({"type": "tick", "time": ev.time})
+        else:
+            raise TypeError(f"cannot serialize event {type(ev).__name__}")
+    return {
+        "format": TRACE_FORMAT_VERSION,
+        "kind": "trace",
+        "problem": problem_to_dict(trace.problem),
+        "events": events,
+        "meta": dict(trace.meta),
+    }
+
+
+def trace_from_dict(doc: dict):
+    """Inverse of :func:`trace_to_dict` (re-validates the event stream)."""
+    from .online.events import Arrival, Departure, EventTrace, Tick
+
+    version = doc.get("format")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    if doc.get("kind") != "trace":
+        raise ValueError(f"not a trace document: kind={doc.get('kind')!r}")
+    problem = problem_from_dict(doc["problem"])
+    events = []
+    for rec in doc["events"]:
+        etype = rec.get("type")
+        if etype == "arrival":
+            events.append(Arrival(float(rec["time"]), int(rec["demand"])))
+        elif etype == "departure":
+            events.append(Departure(float(rec["time"]), int(rec["demand"])))
+        elif etype == "tick":
+            events.append(Tick(float(rec["time"])))
+        else:
+            raise ValueError(f"unknown event type {etype!r}")
+    return EventTrace(problem=problem, events=events,
+                      meta=dict(doc.get("meta", {})))
+
+
 def save_problem(problem, path: str) -> None:
     """Write a problem as JSON."""
     with open(path, "w") as fh:
@@ -186,3 +249,15 @@ def load_solution(path: str, problem) -> Solution:
     """Read a solution written by :func:`save_solution`."""
     with open(path) as fh:
         return solution_from_dict(json.load(fh), problem)
+
+
+def save_trace(trace, path: str) -> None:
+    """Write an event trace as JSON."""
+    with open(path, "w") as fh:
+        json.dump(trace_to_dict(trace), fh, indent=1)
+
+
+def load_trace(path: str):
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as fh:
+        return trace_from_dict(json.load(fh))

@@ -1,0 +1,72 @@
+"""Online admission control: streaming arrivals over the offline core.
+
+The offline solvers admit a profit-maximizing subset of a *frozen*
+demand population; this package replays the same populations as event
+streams — arrivals, departures, clock ticks — through pluggable
+admission policies over an incremental capacity ledger, and scores them
+against the offline optimum of the identical workload.
+
+Layering (bottom-up):
+
+* :mod:`~repro.online.events` — Arrival/Departure/Tick, seeded Poisson /
+  bursty / diurnal trace generators (serialization in :mod:`repro.io`);
+* :mod:`~repro.online.state` — :class:`CapacityLedger`, O(path) admit /
+  release on the shared vectorized conflict index;
+* :mod:`~repro.online.policies` — ``greedy-threshold``, ``dual-gated``,
+  ``batch-resolve``;
+* :mod:`~repro.online.driver` / :mod:`~repro.online.metrics` — the
+  replay loop, acceptance/profit/latency metrics, offline benchmarks.
+"""
+
+from .driver import ReplayResult, replay
+from .events import (
+    ARRIVAL_PROCESSES,
+    Arrival,
+    Departure,
+    EventTrace,
+    Tick,
+    bursty_trace,
+    diurnal_trace,
+    generate_trace,
+    poisson_trace,
+)
+from .metrics import (
+    ReplayMetrics,
+    latency_percentiles,
+    offline_optimum,
+    with_offline,
+)
+from .policies import (
+    POLICY_NAMES,
+    AdmissionPolicy,
+    BatchResolve,
+    DualGated,
+    GreedyThreshold,
+    make_policy,
+)
+from .state import CapacityLedger
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "AdmissionPolicy",
+    "Arrival",
+    "BatchResolve",
+    "CapacityLedger",
+    "Departure",
+    "DualGated",
+    "EventTrace",
+    "GreedyThreshold",
+    "POLICY_NAMES",
+    "ReplayMetrics",
+    "ReplayResult",
+    "Tick",
+    "bursty_trace",
+    "diurnal_trace",
+    "generate_trace",
+    "latency_percentiles",
+    "make_policy",
+    "offline_optimum",
+    "poisson_trace",
+    "replay",
+    "with_offline",
+]

@@ -1,0 +1,91 @@
+"""Replay metrics: acceptance, profit vs the offline optimum, latency.
+
+The offline benchmark is the trace's own frozen problem — every demand
+that ever arrives, solved by any registry solver (``exact`` for the true
+optimum, an approximation algorithm for a cheaper yardstick).  With
+departures in the trace the clairvoyant adversary is weaker than the
+frozen instance suggests (capacity freed mid-stream can be reused), so a
+policy can legitimately exceed the frozen optimum; ratios above 1 are
+reported as computed, not clamped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from .events import EventTrace
+
+__all__ = ["ReplayMetrics", "latency_percentiles", "offline_optimum",
+           "with_offline"]
+
+
+def latency_percentiles(latencies_s: Sequence[float]) -> dict[str, float]:
+    """p50/p90/p99 and mean of per-event decision latencies, in µs."""
+    if len(latencies_s) == 0:
+        return {"p50_us": 0.0, "p90_us": 0.0, "p99_us": 0.0, "mean_us": 0.0}
+    arr = np.asarray(latencies_s, dtype=np.float64) * 1e6
+    p50, p90, p99 = np.percentile(arr, [50.0, 90.0, 99.0])
+    return {
+        "p50_us": float(p50),
+        "p90_us": float(p90),
+        "p99_us": float(p99),
+        "mean_us": float(arr.mean()),
+    }
+
+
+@dataclass(frozen=True)
+class ReplayMetrics:
+    """Flat, JSON-safe outcome of one (trace, policy) replay."""
+
+    policy: str
+    events: int
+    arrivals: int
+    departures: int
+    ticks: int
+    accepted: int
+    rejected: int
+    acceptance_ratio: float
+    realized_profit: float
+    elapsed_s: float
+    events_per_sec: float
+    latency_p50_us: float
+    latency_p90_us: float
+    latency_p99_us: float
+    latency_mean_us: float
+    #: Profit of the frozen-instance benchmark (``None`` when not computed).
+    offline_profit: float | None = None
+    #: ``realized / offline`` — the fraction of the benchmark captured.
+    profit_vs_offline: float | None = None
+    #: ``offline / realized`` — the (empirical) competitive ratio.
+    competitive_ratio: float | None = None
+
+    def to_dict(self) -> dict:
+        """The metrics as a plain dict (JSON-serialisable)."""
+        return asdict(self)
+
+
+def offline_optimum(trace: EventTrace, solver: str = "exact", **params) -> float:
+    """Profit of ``solver`` on the trace's frozen problem.
+
+    ``registry.solve`` semantics: unknown keyword arguments are dropped
+    per solver, so one parameter dict can drive any benchmark solver.
+    """
+    from ..algorithms import registry
+
+    return float(registry.solve(solver, trace.problem, **params).profit)
+
+
+def with_offline(metrics: ReplayMetrics, offline_profit: float) -> ReplayMetrics:
+    """A copy of ``metrics`` with the offline-benchmark ratios filled in."""
+    realized = metrics.realized_profit
+    return replace(
+        metrics,
+        offline_profit=float(offline_profit),
+        profit_vs_offline=(realized / offline_profit
+                           if offline_profit > 0 else None),
+        competitive_ratio=(offline_profit / realized
+                           if realized > 0 else None),
+    )

@@ -1,0 +1,297 @@
+"""Pluggable admission policies for the streaming driver.
+
+Three built-in policies, selectable by name through :func:`make_policy`
+(the CLI's ``replay --policy`` and the replay runner dispatch here):
+
+* ``greedy-threshold`` — admit a demand iff some instance fits the
+  residual capacity and its profit density (profit / route length)
+  clears a fixed threshold.  Thresholds trade acceptance for profit.
+* ``dual-gated`` — online primal-dual admission.  Every edge carries an
+  exponential price in its current load (the classic online packing
+  price function); a demand is admitted iff its profit beats the
+  height-weighted price of some feasible route.  Prices need no extra
+  state: they are evaluated from the ledger's live loads, so departures
+  automatically deflate them.
+* ``batch-resolve`` — buffer arrivals and periodically hand the buffer
+  to any registry solver on a subproblem over the buffered demands, then
+  admit whatever of the solver's selection still fits.  Nothing already
+  admitted is ever preempted.  On a departure-free trace, the ``exact``
+  solver with a single final flush reproduces the offline optimum
+  (with departures, buffered demands that leave before the flush are
+  dropped, so the flush optimizes only the survivors).
+
+A policy mutates the shared :class:`~repro.online.state.CapacityLedger`
+only through ``admit``; the driver owns releases.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.instance import LineProblem, TreeProblem
+from .state import CapacityLedger
+
+__all__ = [
+    "AdmissionPolicy",
+    "GreedyThreshold",
+    "DualGated",
+    "BatchResolve",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+#: Stable policy names, as accepted by :func:`make_policy` and the CLI.
+POLICY_NAMES = ("greedy-threshold", "dual-gated", "batch-resolve")
+
+
+class AdmissionPolicy:
+    """Base class: event hooks over a bound :class:`CapacityLedger`."""
+
+    name = "abstract"
+
+    def bind(self, ledger: CapacityLedger) -> None:
+        """Attach to a ledger; called once before the replay starts."""
+        self.ledger = ledger
+        self.stats: dict = {}
+
+    def on_arrival(self, demand_id: int) -> int | None:
+        """Decide on an arriving demand; return the admitted instance id
+        (or ``None`` when rejected or deferred)."""
+        raise NotImplementedError
+
+    def on_departure(self, demand_id: int) -> None:
+        """Called after the driver released a departing demand."""
+
+    def on_tick(self, now: float) -> None:
+        """Called on :class:`~repro.online.events.Tick` events."""
+
+    def finish(self) -> None:
+        """Called once after the last event (final flush point)."""
+
+
+class GreedyThreshold(AdmissionPolicy):
+    """First-fit admission gated by a profit-density threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum profit per route edge; 0 (default) admits anything that
+        fits, ``inf`` rejects everything.
+    """
+
+    name = "greedy-threshold"
+
+    def __init__(self, threshold: float = 0.0):
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = float(threshold)
+
+    def on_arrival(self, demand_id: int) -> int | None:
+        return self.ledger.try_admit(demand_id, min_density=self.threshold)
+
+
+class DualGated(AdmissionPolicy):
+    """Online primal-dual admission with exponential edge prices.
+
+    The price of an edge at load ``ℓ`` is ``(pmin / L) · (μ^ℓ − 1)``
+    where ``L`` is the longest route and ``μ = max(2, L · pmax/pmin)``:
+    an empty edge is free, a full edge prices at ≈ ``pmax``, so the gate
+    ramps from "admit everything" to "only the most profitable demands"
+    exactly as the network fills.  A demand is admitted through the
+    feasible instance with the cheapest route price, iff its profit
+    strictly beats ``eta`` times that price (height-weighted).
+
+    Because prices are a pure function of the ledger's live loads, a
+    departure instantly lowers the gate on the edges it frees.
+
+    Parameters
+    ----------
+    eta:
+        Gate stiffness; >1 demands a margin over the dual price, <1
+        relaxes toward greedy.  Default 1.0.
+    mu:
+        Price base override; ``None`` derives it from the problem's
+        profit spread and route lengths as above.
+    """
+
+    name = "dual-gated"
+
+    def __init__(self, eta: float = 1.0, mu: float | None = None):
+        if eta <= 0:
+            raise ValueError("eta must be positive")
+        self.eta = float(eta)
+        self._mu_override = mu
+
+    def bind(self, ledger: CapacityLedger) -> None:
+        super().bind(ledger)
+        problem = ledger.problem
+        if problem.num_demands:
+            pmin, pmax = problem.profit_range()
+        else:
+            pmin = pmax = 1.0
+        lengths = [max(len(ledger.index.edges_of(d.instance_id)), 1)
+                   for d in ledger.instances]
+        L = max(lengths, default=1)
+        self.mu = (float(self._mu_override) if self._mu_override is not None
+                   else max(2.0, L * pmax / max(pmin, 1e-12)))
+        self._scale = pmin / L
+        self.stats = {"gated": 0, "capacity_blocked": 0, "max_gate": 0.0}
+
+    def route_price(self, iid: int) -> float:
+        """Height-weighted exponential price of ``iid``'s route now."""
+        loads = self.ledger.route_loads(iid)
+        if len(loads) == 0:
+            return 0.0
+        price = self._scale * float(
+            np.sum(np.power(self.mu, loads) - 1.0)
+        )
+        return self.ledger.instances[iid].height * price
+
+    def on_arrival(self, demand_id: int) -> int | None:
+        ledger = self.ledger
+        cands = ledger.candidates(demand_id)
+        ok = ledger.feasible(cands)
+        if not ok.any():
+            self.stats["capacity_blocked"] += 1
+            return None
+        best, best_price = None, math.inf
+        for iid in cands[ok].tolist():
+            price = self.route_price(iid)
+            if price < best_price:
+                best, best_price = iid, price
+        self.stats["max_gate"] = max(self.stats["max_gate"], best_price)
+        profit = ledger.instances[best].profit
+        if profit <= self.eta * best_price:
+            self.stats["gated"] += 1
+            return None
+        ledger.admit(best)
+        return best
+
+
+class BatchResolve(AdmissionPolicy):
+    """Buffer arrivals; periodically re-solve and admit the winners.
+
+    Every ``resolve_every`` buffered arrivals (and on every tick, and
+    once at the end of the trace) the buffer becomes a subproblem over
+    the same networks/access sets, any registry solver optimizes it, and
+    the selected instances are admitted greedily in profit order —
+    skipping whatever no longer fits next to the already-admitted set.
+    Admitted demands are never preempted; buffered demands that depart
+    before a flush are dropped (they left unserved).
+
+    Parameters
+    ----------
+    solver:
+        Registry name (``"auto"``, ``"exact"``, ``"greedy"``, ...).
+    resolve_every:
+        Flush the buffer whenever it reaches this many demands; ``0``
+        defers everything to ticks and the final flush.
+    solver_params:
+        Extra keyword arguments for the solver (epsilon, seed, ...).
+    """
+
+    name = "batch-resolve"
+
+    def __init__(self, solver: str = "auto", resolve_every: int = 256,
+                 solver_params: dict | None = None):
+        if resolve_every < 0:
+            raise ValueError("resolve_every must be >= 0")
+        self.solver = solver
+        self.resolve_every = int(resolve_every)
+        self.solver_params = dict(solver_params or {})
+
+    def bind(self, ledger: CapacityLedger) -> None:
+        super().bind(ledger)
+        self.buffer: list[int] = []
+        # Companion membership set: departures must not scan the buffer
+        # (it can hold every live arrival in final-flush-only mode).
+        self._buffered: set[int] = set()
+        self.stats = {"flushes": 0, "buffered": 0, "displaced": 0}
+        problem = ledger.problem
+        self._lookup: dict[tuple, int] = {}
+        for inst in ledger.instances:
+            if isinstance(problem, TreeProblem):
+                key = (inst.demand_id, inst.network_id)
+            else:
+                key = (inst.demand_id, inst.network_id, inst.start, inst.end)
+            self._lookup[key] = inst.instance_id
+
+    def on_arrival(self, demand_id: int) -> int | None:
+        self.buffer.append(demand_id)
+        self._buffered.add(demand_id)
+        self.stats["buffered"] += 1
+        if self.resolve_every and len(self.buffer) >= self.resolve_every:
+            self._flush()
+        return None
+
+    def on_departure(self, demand_id: int) -> None:
+        self._buffered.discard(demand_id)
+
+    def on_tick(self, now: float) -> None:
+        self._flush()
+
+    def finish(self) -> None:
+        self._flush()
+
+    # ------------------------------------------------------------------
+
+    def _subproblem(self, demand_ids: list[int]):
+        """The buffered demands as a standalone problem (ids densified)."""
+        from dataclasses import replace
+
+        p = self.ledger.problem
+        demands = [
+            replace(p.demands[d], demand_id=i)
+            for i, d in enumerate(demand_ids)
+        ]
+        access = [p.access[d] for d in demand_ids]
+        if isinstance(p, TreeProblem):
+            return TreeProblem(n=p.n, networks=p.networks, demands=demands,
+                               access=access)
+        return LineProblem(n_slots=p.n_slots, resources=p.resources,
+                           demands=demands, access=access)
+
+    def _flush(self) -> None:
+        from ..algorithms import registry
+
+        # Departed demands were only unlinked from the membership set;
+        # filter them out here, once per flush.
+        demand_ids = [d for d in self.buffer if d in self._buffered]
+        self.buffer.clear()
+        self._buffered.clear()
+        if not demand_ids:
+            return
+        self.stats["flushes"] += 1
+        sub = self._subproblem(demand_ids)
+        solution = registry.solve(self.solver, sub, **self.solver_params)
+        chosen = sorted(solution.selected, key=lambda d: (-d.profit, d.demand_id))
+        ledger = self.ledger
+        for inst in chosen:
+            orig = demand_ids[inst.demand_id]
+            if isinstance(ledger.problem, TreeProblem):
+                key = (orig, inst.network_id)
+            else:
+                key = (orig, inst.network_id, inst.start, inst.end)
+            iid = self._lookup[key]
+            if ledger.feasible([iid])[0]:
+                ledger.admit(iid)
+            else:
+                self.stats["displaced"] += 1
+
+
+def make_policy(name: str, **kwargs) -> AdmissionPolicy:
+    """Instantiate a policy by registry name.
+
+    >>> make_policy("dual-gated", eta=1.2)
+    """
+    if name == "greedy-threshold":
+        return GreedyThreshold(**kwargs)
+    if name == "dual-gated":
+        return DualGated(**kwargs)
+    if name == "batch-resolve":
+        return BatchResolve(**kwargs)
+    raise ValueError(
+        f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+    )

@@ -1,0 +1,199 @@
+"""Incremental capacity state for streaming admission control.
+
+:class:`CapacityLedger` is the single mutable structure the online
+subsystem maintains.  It builds the vectorized
+:class:`~repro.core.conflict.ConflictIndex` over the trace's instance
+population **once** — interval geometry on lines, Euler-tour geometry on
+trees — and then serves every event with O(path)-amortized operations on
+the incremental :class:`~repro.core.conflict.ActiveConflictSet`:
+
+* ``feasible`` — which of a demand's instances fit the residual
+  capacity right now (one batched gather/segment-max probe);
+* ``admit`` / ``release`` — scatter-add / scatter-subtract of the
+  instance's height along its route;
+* ``route_loads`` — the current per-edge loads along a route, which the
+  dual-gated policy prices.
+
+Nothing is ever rebuilt per event; the conflict probes are exactly the
+ones the phase-2 engine uses offline, shared through the same index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.conflict import ActiveConflictSet, ConflictIndex
+from ..core.instance import TreeProblem
+from ..core.solution import (
+    Solution,
+    verify_line_solution,
+    verify_tree_solution,
+)
+
+__all__ = ["CapacityLedger"]
+
+
+class CapacityLedger:
+    """Admit/release bookkeeping over a fixed instance population.
+
+    Parameters
+    ----------
+    problem:
+        The trace's :class:`~repro.core.instance.TreeProblem` or
+        :class:`~repro.core.instance.LineProblem`; its expanded instances
+        are the admission candidates.
+
+    Notes
+    -----
+    A demand is admitted through **one** of its instances (one accessible
+    network, one placement).  Once released it cannot be re-admitted —
+    a departure means the demand left the system for good — so realized
+    profit is simply the sum over the admission log.
+    """
+
+    def __init__(self, problem):
+        self.problem = problem
+        self.instances = problem.instances()
+        edges_of = [frozenset(problem.global_edges_of(d)) for d in self.instances]
+        trees = None
+        if isinstance(problem, TreeProblem):
+            trees = {q: net for q, net in enumerate(problem.networks)}
+        #: The shared conflict index (built once; exposes the PR-1 probes).
+        self.index = ConflictIndex(self.instances, edges_of, trees=trees)
+        self.active = self.index.active_set(capacities=True)
+        self._candidates: dict[int, np.ndarray] = {}
+        by_demand: dict[int, list[int]] = {}
+        for inst in self.instances:
+            by_demand.setdefault(inst.demand_id, []).append(inst.instance_id)
+        for d, iids in by_demand.items():
+            self._candidates[d] = np.asarray(iids, dtype=np.int64)
+        self._admitted: dict[int, int] = {}
+        self._ever_admitted: set[int] = set()
+        #: ``(demand_id, instance_id)`` in admission order; never shrinks.
+        self.admission_log: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def candidates(self, demand_id: int) -> np.ndarray:
+        """Instance ids of ``demand_id`` (one per network × placement)."""
+        try:
+            return self._candidates[demand_id]
+        except KeyError:
+            raise KeyError(f"unknown demand {demand_id}") from None
+
+    def feasible(self, iids) -> np.ndarray:
+        """Boolean mask: which instances fit the residual capacity now."""
+        return ~self.active.blocked_mask(np.asarray(iids, dtype=np.int64))
+
+    def route_loads(self, iid: int) -> np.ndarray:
+        """Current load on each edge of instance ``iid``'s route."""
+        return self.active.edge_loads(iid)
+
+    def is_admitted(self, demand_id: int) -> bool:
+        """Whether the demand is currently in the system."""
+        return demand_id in self._admitted
+
+    def admitted_instance(self, demand_id: int) -> int | None:
+        """The instance a currently-admitted demand holds, else ``None``."""
+        return self._admitted.get(demand_id)
+
+    @property
+    def num_admitted(self) -> int:
+        """Number of demands currently holding capacity."""
+        return len(self._admitted)
+
+    @property
+    def realized_profit(self) -> float:
+        """Total profit over the admission log (departures keep theirs)."""
+        return float(
+            sum(self.instances[iid].profit for _, iid in self.admission_log)
+        )
+
+    def utilization(self) -> float:
+        """Heaviest current edge load (1.0 = some edge fully booked)."""
+        return self.active.max_load()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def admit(self, iid: int) -> None:
+        """Admit one instance; its demand must be new and the route free.
+
+        Raises
+        ------
+        ValueError
+            If the demand was admitted before (even if since departed) or
+            the instance no longer fits the residual capacity.
+        """
+        demand_id = self.instances[iid].demand_id
+        if demand_id in self._ever_admitted:
+            raise ValueError(f"demand {demand_id} was already admitted")
+        if self.active.blocked(iid):
+            raise ValueError(
+                f"instance {iid} no longer fits the residual capacity"
+            )
+        self.active.add(iid)
+        self._admitted[demand_id] = iid
+        self._ever_admitted.add(demand_id)
+        self.admission_log.append((demand_id, iid))
+
+    def try_admit(self, demand_id: int,
+                  min_density: float = 0.0) -> int | None:
+        """Admit the cheapest feasible instance of a demand, if any.
+
+        Candidates are ranked by route length then instance id, so the
+        admission burns as little bandwidth as possible; instances whose
+        profit density (profit / route length) falls below
+        ``min_density`` are skipped.  Returns the admitted instance id
+        or ``None``.  This ranking is *the* first-fit rule — the
+        greedy-threshold policy delegates here.
+        """
+        if demand_id in self._ever_admitted:
+            return None
+        cands = self.candidates(demand_id)
+        ok = self.feasible(cands)
+        best = None
+        best_key = None
+        for iid in cands[ok].tolist():
+            length = max(len(self.index.edges_of(iid)), 1)
+            if self.instances[iid].profit / length < min_density:
+                continue
+            key = (length, iid)
+            if best_key is None or key < best_key:
+                best, best_key = iid, key
+        if best is None:
+            return None
+        self.admit(best)
+        return best
+
+    def release(self, demand_id: int) -> int:
+        """Release a departed demand's capacity; returns its instance id."""
+        try:
+            iid = self._admitted.pop(demand_id)
+        except KeyError:
+            raise KeyError(f"demand {demand_id} is not admitted") from None
+        self.active.remove(iid)
+        return iid
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Solution:
+        """The currently-admitted instances as a :class:`Solution`."""
+        selected = [self.instances[iid] for iid in self._admitted.values()]
+        return Solution(
+            selected=selected,
+            stats={"algorithm": "online-ledger", "admitted": len(selected)},
+        )
+
+    def verify(self) -> None:
+        """Re-check the current admitted set from first principles."""
+        sol = self.snapshot()
+        if isinstance(self.problem, TreeProblem):
+            verify_tree_solution(self.problem, sol, unit_height=False)
+        else:
+            verify_line_solution(self.problem, sol, unit_height=False)

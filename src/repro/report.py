@@ -21,7 +21,19 @@ __all__ = [
     "render_solution_summary",
     "render_comparison",
     "render_sweep",
+    "render_replay",
 ]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Left-justified plain-text table with a dashed header rule."""
+    widths = [max(len(h), *(len(row[i]) for row in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
 
 
 def render_tree(tree: TreeNetwork, root: int = 0) -> str:
@@ -106,10 +118,20 @@ def render_sweep(results: Sequence) -> str:
     """Tabulate :class:`~repro.runners.batch.RunResult` records.
 
     One row per job: problem label, solver, seed, profit, size, rounds,
-    realized λ, wall-clock, cache/error status.
+    realized λ, wall-clock, cache/error status.  When any record carries
+    an offline benchmark in its stats (replay sweeps through
+    :class:`~repro.runners.replay.ReplayRunner`), two extra columns
+    report the fraction of the offline optimum captured (``ALG/OPT``)
+    and the empirical competitive ratio (``c-ratio``).
     """
+    results = list(results)
+    with_offline = any(
+        (r.stats or {}).get("offline_profit") is not None for r in results
+    )
     headers = ["problem", "solver", "seed", "profit", "size", "rounds",
                "λ", "time", "status"]
+    if with_offline:
+        headers = headers[:5] + ["ALG/OPT", "c-ratio"] + headers[5:]
     rows: list[list[str]] = []
     for r in results:
         stats = r.stats or {}
@@ -117,24 +139,67 @@ def render_sweep(results: Sequence) -> str:
         rounds = stats.get("total_rounds", stats.get("rounds", "-"))
         lam = stats.get("realized_lambda")
         status = "error" if r.error else ("cached" if r.cache_hit else "ok")
-        rows.append([
+        row = [
             r.label,
             r.solver,
             str(seed),
             f"{r.profit:.2f}",
             str(r.size),
+        ]
+        if with_offline:
+            vs = stats.get("profit_vs_offline")
+            cr = stats.get("competitive_ratio")
+            row.append("-" if vs is None else f"{vs:.3f}")
+            row.append("-" if cr is None else f"{cr:.3f}")
+        row += [
             str(rounds),
             "-" if lam is None else f"{lam:.3f}",
             f"{r.elapsed:.2f}s",
             status,
-        ])
-    widths = [max(len(h), *(len(row[i]) for row in rows)) if rows else len(h)
-              for i, h in enumerate(headers)]
-    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
+        ]
+        rows.append(row)
+    return _table(headers, rows)
+
+
+def render_replay(metrics: Sequence) -> str:
+    """Tabulate replay outcomes (one row per (trace, policy) run).
+
+    Accepts :class:`~repro.online.metrics.ReplayMetrics` records or
+    their ``to_dict`` form.  The offline columns (``offline OPT``,
+    ``ALG/OPT``, ``c-ratio``) appear only when at least one record
+    carries an offline benchmark.
+    """
+    docs = [m if isinstance(m, dict) else m.to_dict() for m in metrics]
+    with_offline = any(d.get("offline_profit") is not None for d in docs)
+    headers = ["policy", "events", "arrivals", "accepted", "acc%",
+               "profit"]
+    if with_offline:
+        headers += ["offline OPT", "ALG/OPT", "c-ratio"]
+    headers += ["p50 µs", "p99 µs", "events/s"]
+    rows: list[list[str]] = []
+    for d in docs:
+        row = [
+            str(d.get("policy", "?")),
+            str(d.get("events", 0)),
+            str(d.get("arrivals", 0)),
+            str(d.get("accepted", 0)),
+            f"{100.0 * d.get('acceptance_ratio', 0.0):.1f}",
+            f"{d.get('realized_profit', 0.0):.2f}",
+        ]
+        if with_offline:
+            opt = d.get("offline_profit")
+            vs = d.get("profit_vs_offline")
+            cr = d.get("competitive_ratio")
+            row.append("-" if opt is None else f"{opt:.2f}")
+            row.append("-" if vs is None else f"{vs:.3f}")
+            row.append("-" if cr is None else f"{cr:.3f}")
+        row += [
+            f"{d.get('latency_p50_us', 0.0):.1f}",
+            f"{d.get('latency_p99_us', 0.0):.1f}",
+            f"{d.get('events_per_sec', 0.0):.0f}",
+        ]
+        rows.append(row)
+    return _table(headers, rows)
 
 
 def render_comparison(entries: Sequence[tuple[str, Solution]],

@@ -2,10 +2,13 @@
 
 from .batch import BatchRunner, Job, RunResult
 from .hotpath import build_line_case, build_tree_case, run_hotpath_bench
+from .replay import ReplayJob, ReplayRunner
 
 __all__ = [
     "BatchRunner",
     "Job",
+    "ReplayJob",
+    "ReplayRunner",
     "RunResult",
     "build_line_case",
     "build_tree_case",

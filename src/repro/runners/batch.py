@@ -41,6 +41,34 @@ def _json_safe(value):
     return str(value)
 
 
+def _document_of(job, source) -> dict:
+    """A job's JSON document: dicts pass through, paths are loaded once
+    (memoised on the frozen dataclass via ``object.__setattr__``)."""
+    if isinstance(source, dict):
+        return source
+    cached = getattr(job, "_doc", None)
+    if cached is None:
+        with open(source) as fh:
+            cached = json.load(fh)
+        object.__setattr__(job, "_doc", cached)
+    return cached
+
+
+def _params_with_seed(params: dict, seed) -> dict:
+    out = dict(params)
+    if seed is not None:
+        out["seed"] = seed
+    return out
+
+
+def _label_of(label: str, source) -> str:
+    if label:
+        return label
+    if isinstance(source, str):
+        return os.path.splitext(os.path.basename(source))[0]
+    return "<inline>"
+
+
 @dataclass(frozen=True)
 class Job:
     """One unit of work: a problem, a registered solver, parameters.
@@ -69,27 +97,13 @@ class Job:
 
     def document(self) -> dict:
         """The problem as a JSON document (loaded from disk at most once)."""
-        if isinstance(self.problem, dict):
-            return self.problem
-        cached = getattr(self, "_doc", None)
-        if cached is None:
-            with open(self.problem) as fh:
-                cached = json.load(fh)
-            object.__setattr__(self, "_doc", cached)  # frozen dataclass memo
-        return cached
+        return _document_of(self, self.problem)
 
     def effective_params(self) -> dict:
-        params = dict(self.params)
-        if self.seed is not None:
-            params["seed"] = self.seed
-        return params
+        return _params_with_seed(self.params, self.seed)
 
     def display_label(self) -> str:
-        if self.label:
-            return self.label
-        if isinstance(self.problem, str):
-            return os.path.splitext(os.path.basename(self.problem))[0]
-        return "<inline>"
+        return _label_of(self.label, self.problem)
 
     def cache_key(self) -> str:
         """Content hash of (instance, solver, config) — the memo key."""
@@ -224,6 +238,25 @@ class BatchRunner:
             json.dump(doc, fh)
         os.replace(tmp, self._cache_path(key))
 
+    # -- hooks (overridden by ReplayRunner) -----------------------------
+
+    #: Module-level worker the pool maps over (must be picklable).
+    _worker = staticmethod(_execute)
+
+    def _job_key(self, job) -> str:
+        """The memo key for a job."""
+        return job.cache_key()
+
+    def _payload(self, job, key: str) -> dict:
+        """The serialised work unit handed to the pool worker."""
+        return {
+            "document": job.document(),
+            "solver": job.solver,
+            "params": job.effective_params(),
+            "label": job.display_label(),
+            "key": key,
+        }
+
     # -- execution ------------------------------------------------------
 
     def run(self, jobs: Sequence[Job]) -> list[RunResult]:
@@ -231,7 +264,7 @@ class BatchRunner:
         payloads: list[dict | None] = []
         results: list[dict | None] = [None] * len(jobs)
         for i, job in enumerate(jobs):
-            key = job.cache_key()
+            key = self._job_key(job)
             cached = self._cache_load(key)
             if cached is not None:
                 cached["cache_hit"] = True
@@ -239,15 +272,7 @@ class BatchRunner:
                 results[i] = cached
                 payloads.append(None)
             else:
-                payloads.append(
-                    {
-                        "document": job.document(),
-                        "solver": job.solver,
-                        "params": job.effective_params(),
-                        "label": job.display_label(),
-                        "key": key,
-                    }
-                )
+                payloads.append(self._payload(job, key))
 
         pending = [(i, p) for i, p in enumerate(payloads) if p is not None]
         if pending:
@@ -255,13 +280,14 @@ class BatchRunner:
             if nproc is None:
                 nproc = os.cpu_count() or 1
             nproc = min(nproc, len(pending))
+            worker = type(self)._worker
             if nproc > 1:
                 import multiprocessing as mp
 
                 with mp.Pool(nproc) as pool:
-                    outs = pool.map(_execute, [p for _, p in pending])
+                    outs = pool.map(worker, [p for _, p in pending])
             else:
-                outs = [_execute(p) for _, p in pending]
+                outs = [worker(p) for _, p in pending]
             for (i, _), out in zip(pending, outs):
                 results[i] = out
                 if out["error"] is None:

@@ -91,3 +91,119 @@ class TestDecompose:
         assert main(["decompose", "--topology", "caterpillar", "--n", "20"]) == 0
         out = capsys.readouterr().out
         assert "ideal" in out and "root-fixing" in out and "depth" in out
+
+
+class TestReplay:
+    def test_generated_trace_end_to_end(self, capsys):
+        assert main(["replay", "--policy", "dual-gated",
+                     "--events", "150", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dual-gated" in out and "events/s" in out
+        assert "generated poisson line trace" in out
+
+    def test_all_policies_and_processes(self, capsys):
+        for policy in ["greedy-threshold", "batch-resolve"]:
+            assert main(["replay", "--policy", policy, "--events", "80",
+                         "--process", "bursty", "--kind", "tree"]) == 0
+            assert policy in capsys.readouterr().out
+
+    def test_save_and_reload_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["replay", "--events", "60", "--seed", "2",
+                     "--save-trace", str(trace_path)]) == 0
+        first = capsys.readouterr().out
+        assert trace_path.exists()
+        # Replaying the saved trace reproduces the exact same profit row.
+        assert main(["replay", str(trace_path),
+                     "--policy", "dual-gated"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[-1].split()[5] == \
+            second.splitlines()[-1].split()[5]
+
+    def test_offline_columns_and_output(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        assert main(["replay", "--events", "60", "--seed", "3",
+                     "--offline", "greedy", "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ALG/OPT" in out and "c-ratio" in out
+        doc = json.load(open(out_path))
+        assert doc["offline_profit"] is not None
+        assert "trace_meta" in doc
+
+    def test_unknown_offline_solver_friendly(self):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["replay", "--events", "30", "--offline", "oracle"])
+
+    def test_unknown_batch_solver_friendly(self):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["replay", "--events", "30", "--policy", "batch-resolve",
+                  "--solver", "oracle"])
+
+    def test_wrong_family_solver_friendly(self):
+        # A tree solver on the default line trace must fail up front
+        # with a message, not crash mid-flush with a traceback.
+        with pytest.raises(SystemExit, match="needs a tree problem"):
+            main(["replay", "--events", "30", "--policy", "batch-resolve",
+                  "--solver", "tree-unit"])
+        with pytest.raises(SystemExit, match="needs a tree problem"):
+            main(["replay", "--events", "30", "--offline", "tree-unit"])
+
+    def test_unknown_policy_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--policy", "oracle"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestFriendlyArgumentErrors:
+    """Bad --seed/--processes/... values exit with a message, never a
+    traceback (argparse.ArgumentTypeError -> SystemExit(2))."""
+
+    def test_replay_bad_seed(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--seed", "banana"])
+        assert "seed must be an integer" in capsys.readouterr().err
+
+    def test_replay_bad_events(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--events", "0"])
+        assert "events must be >= 1" in capsys.readouterr().err
+
+    def test_replay_negative_seed(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--seed", "-3"])
+        assert "seed must be >= 0" in capsys.readouterr().err
+
+    def test_replay_departures_out_of_range(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--departures", "1.5"])
+        assert "departures must be in [0.0, 1.0]" in capsys.readouterr().err
+
+    def test_sweep_negative_seed(self, tree_json, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", tree_json, "--seeds", "0,-1"])
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_sweep_bad_seeds(self, tree_json, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", tree_json, "--seeds", "0,x"])
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_sweep_empty_seeds(self, tree_json, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", tree_json, "--seeds", ","])
+        assert "at least one seed" in capsys.readouterr().err
+
+    def test_sweep_bad_processes(self, tree_json, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", tree_json, "--processes", "-2"])
+        assert "processes must be >= 0" in capsys.readouterr().err
+
+    def test_sweep_unknown_solver_friendly(self, tree_json):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["sweep", tree_json, "--solvers", "oracle"])
+
+    def test_sweep_still_accepts_valid_seeds(self, tree_json, capsys):
+        assert main(["sweep", tree_json, "--solvers", "greedy",
+                     "--seeds", "0,1", "--processes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out

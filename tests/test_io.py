@@ -8,12 +8,16 @@ from repro import random_line_problem, random_tree_problem, solve_tree_unit
 from repro.io import (
     load_problem,
     load_solution,
+    load_trace,
     problem_from_dict,
     problem_to_dict,
     save_problem,
     save_solution,
+    save_trace,
     solution_from_dict,
     solution_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
 
 
@@ -64,6 +68,105 @@ class TestProblemRoundTrip:
         doc["kind"] = "hypergraph"
         with pytest.raises(ValueError, match="kind"):
             problem_from_dict(doc)
+
+
+class TestWindowDemandRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_field_equality(self, seed):
+        p = random_line_problem(n_slots=30, m=10, r=2, seed=seed,
+                                height_regime="bimodal", max_len=8,
+                                access_prob=0.6)
+        q = problem_from_dict(problem_to_dict(p))
+        assert q.demands == p.demands  # WindowDemand is a frozen dataclass
+        assert q.access == p.access
+        # Placement expansion (the instance population) is identical.
+        assert [
+            (d.demand_id, d.network_id, d.start, d.end)
+            for d in p.instances()
+        ] == [
+            (d.demand_id, d.network_id, d.start, d.end)
+            for d in q.instances()
+        ]
+
+
+class TestAdversarialRoundTrip:
+    def test_constructions_survive_json(self):
+        from repro.workloads.adversarial import (
+            long_vs_short,
+            profit_ladder,
+            sibling_stress,
+            star_crossing,
+        )
+
+        for problem in [profit_ladder(5), long_vs_short(6),
+                        star_crossing(8), sibling_stress(4, r=2)]:
+            q = problem_from_dict(problem_to_dict(problem))
+            assert q.demands == problem.demands
+            assert [net.edges for net in q.networks] == [
+                net.edges for net in problem.networks
+            ]
+            assert [
+                (d.demand_id, d.network_id, d.path_edges)
+                for d in q.instances()
+            ] == [
+                (d.demand_id, d.network_id, d.path_edges)
+                for d in problem.instances()
+            ]
+
+
+class TestTraceRoundTrip:
+    def _trace(self, **kw):
+        from repro.online import bursty_trace
+
+        kw.setdefault("events", 60)
+        kw.setdefault("seed", 3)
+        kw.setdefault("departure_prob", 0.4)
+        kw.setdefault("tick_every", 4.0)
+        return bursty_trace("line", **kw)
+
+    def test_dict_round_trip_exact(self):
+        tr = self._trace()
+        back = trace_from_dict(trace_to_dict(tr))
+        assert back.events == tr.events  # frozen dataclasses: exact
+        assert back.meta == tr.meta
+        assert back.problem.demands == tr.problem.demands
+
+    def test_file_round_trip(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "trace.json"
+        save_trace(tr, str(path))
+        back = load_trace(str(path))
+        assert back.events == tr.events
+        import json
+
+        doc = json.load(open(path))
+        assert doc["format"] == 1 and doc["kind"] == "trace"
+
+    def test_unknown_version_rejected(self):
+        doc = trace_to_dict(self._trace())
+        doc["format"] = 99
+        with pytest.raises(ValueError, match="version"):
+            trace_from_dict(doc)
+
+    def test_wrong_kind_rejected(self):
+        doc = trace_to_dict(self._trace())
+        doc["kind"] = "problem"
+        with pytest.raises(ValueError, match="not a trace"):
+            trace_from_dict(doc)
+
+    def test_unknown_event_type_rejected(self):
+        doc = trace_to_dict(self._trace())
+        doc["events"][0] = {"type": "teleport", "time": 0.0}
+        with pytest.raises(ValueError, match="unknown event type"):
+            trace_from_dict(doc)
+
+    def test_corrupted_stream_rejected(self):
+        # The embedded EventTrace validation re-runs on load.
+        doc = trace_to_dict(self._trace())
+        arrivals = [e for e in doc["events"] if e["type"] == "arrival"]
+        doc["events"].remove(arrivals[0])
+        with pytest.raises(ValueError):
+            trace_from_dict(doc)
 
 
 class TestSolutionRoundTrip:

@@ -1,0 +1,108 @@
+"""End-to-end tests for the replay driver and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_line_solution, verify_tree_solution
+from repro.online import (
+    POLICY_NAMES,
+    Departure,
+    bursty_trace,
+    generate_trace,
+    make_policy,
+    offline_optimum,
+    poisson_trace,
+    replay,
+    with_offline,
+)
+
+
+def _policy(name):
+    if name == "batch-resolve":
+        return make_policy(name, solver="greedy", resolve_every=32)
+    return make_policy(name)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    @pytest.mark.parametrize("kind", ["tree", "line"])
+    def test_end_to_end(self, name, kind):
+        tr = generate_trace(kind, events=150, seed=1, departure_prob=0.3)
+        res = replay(tr, _policy(name))
+        m = res.metrics
+        assert m.policy == name
+        assert m.events == 150
+        assert m.arrivals == tr.num_arrivals
+        assert m.departures == tr.num_departures
+        assert m.accepted + m.rejected == m.arrivals
+        assert m.acceptance_ratio == pytest.approx(m.accepted / m.arrivals)
+        assert m.realized_profit == pytest.approx(
+            sum(tr.problem.demands[d].profit for d, _ in res.admission_log)
+        )
+        assert m.events_per_sec > 0
+        # The final admitted set is feasible from first principles.
+        verify = (verify_tree_solution if kind == "tree"
+                  else verify_line_solution)
+        verify(tr.problem, res.final_solution, unit_height=False)
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_reproducible_under_fixed_seed(self, name):
+        tr = bursty_trace("line", events=200, seed=5, departure_prob=0.4)
+        a = replay(tr, _policy(name))
+        b = replay(tr, _policy(name))
+        assert a.admission_log == b.admission_log
+        assert a.metrics.realized_profit == b.metrics.realized_profit
+
+    def test_departed_demands_leave_final_solution(self):
+        tr = poisson_trace("line", events=200, seed=2, departure_prob=0.6,
+                           rate=4.0)
+        res = replay(tr, make_policy("greedy-threshold"))
+        departed = {ev.demand_id for ev in tr.events
+                    if isinstance(ev, Departure)}
+        final = {d.demand_id for d in res.final_solution.selected}
+        assert not (final & departed)
+        # ... but their profit still counts.
+        assert res.metrics.realized_profit >= sum(
+            tr.problem.demands[d].profit for d in final
+        ) - 1e-9
+
+    def test_trace_meta_echoed(self):
+        tr = poisson_trace("line", events=40, seed=3)
+        res = replay(tr, make_policy("greedy-threshold"))
+        assert res.trace_meta["process"] == "poisson"
+        assert res.trace_meta["seed"] == 3
+
+
+class TestOfflineComparison:
+    def test_with_offline_ratios(self):
+        tr = poisson_trace("line", events=80, seed=4, departure_prob=0.0)
+        res = replay(tr, make_policy("greedy-threshold"))
+        opt = offline_optimum(tr, "exact")
+        m = with_offline(res.metrics, opt)
+        assert m.offline_profit == pytest.approx(opt)
+        assert m.profit_vs_offline == pytest.approx(
+            m.realized_profit / opt
+        )
+        assert m.competitive_ratio == pytest.approx(
+            opt / m.realized_profit
+        )
+        # Without departures no policy can beat the clairvoyant optimum.
+        assert m.profit_vs_offline <= 1.0 + 1e-9
+
+    def test_offline_optimum_solver_params_filtered(self):
+        tr = poisson_trace("line", events=30, seed=6, departure_prob=0.0)
+        # Unknown kwargs are dropped per solver (registry semantics).
+        a = offline_optimum(tr, "greedy", seed=1, epsilon=0.3)
+        b = offline_optimum(tr, "greedy")
+        assert a == pytest.approx(b)
+
+    def test_metrics_dict_is_json_safe(self):
+        import json
+
+        tr = poisson_trace("line", events=30, seed=7)
+        res = replay(tr, make_policy("dual-gated"))
+        doc = with_offline(res.metrics, 10.0).to_dict()
+        json.dumps(doc)
+        assert doc["policy"] == "dual-gated"
+        assert doc["offline_profit"] == 10.0

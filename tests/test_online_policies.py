@@ -1,0 +1,149 @@
+"""Tests for the pluggable admission policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.online import (
+    CapacityLedger,
+    make_policy,
+    offline_optimum,
+    poisson_trace,
+    replay,
+)
+
+
+class TestMakePolicy:
+    def test_names_resolve(self):
+        assert make_policy("greedy-threshold").name == "greedy-threshold"
+        assert make_policy("dual-gated", eta=1.5).name == "dual-gated"
+        assert make_policy("batch-resolve", solver="greedy").name == \
+            "batch-resolve"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("oracle")
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError, match="threshold"):
+            make_policy("greedy-threshold", threshold=-1.0)
+        with pytest.raises(ValueError, match="eta"):
+            make_policy("dual-gated", eta=0.0)
+        with pytest.raises(ValueError, match="resolve_every"):
+            make_policy("batch-resolve", resolve_every=-2)
+
+
+class TestGreedyThreshold:
+    def test_zero_threshold_admits_whatever_fits(self):
+        tr = poisson_trace("line", events=100, seed=1, departure_prob=0.0)
+        res = replay(tr, make_policy("greedy-threshold"))
+        # Every rejection must be a genuine capacity block: replaying the
+        # admitted set leaves no rejected demand that would have fit at
+        # the end (spot-check through a fresh ledger).
+        ledger = CapacityLedger(tr.problem)
+        for _, iid in res.admission_log:
+            ledger.admit(iid)
+        assert res.metrics.accepted == len(res.admission_log)
+        assert res.metrics.realized_profit == pytest.approx(
+            sum(tr.problem.demands[d].profit for d, _ in res.admission_log)
+        )
+
+    def test_infinite_threshold_rejects_everything(self):
+        tr = poisson_trace("line", events=60, seed=2)
+        res = replay(tr, make_policy("greedy-threshold",
+                                     threshold=math.inf))
+        assert res.metrics.accepted == 0
+        assert res.metrics.realized_profit == 0.0
+
+    def test_threshold_is_density_gate(self):
+        tr = poisson_trace("line", events=80, seed=3, departure_prob=0.0)
+        res = replay(tr, make_policy("greedy-threshold", threshold=0.9))
+        for d, iid in res.admission_log:
+            inst = tr.problem.instances()[iid]
+            length = inst.end - inst.start + 1
+            assert inst.profit / length >= 0.9
+
+
+class TestDualGated:
+    def test_gates_under_pressure(self):
+        # Saturated trace: the gate must fire at least once and gated
+        # arrivals must be counted separately from capacity blocks.
+        tr = poisson_trace("line", events=400, seed=1, departure_prob=0.3)
+        policy = make_policy("dual-gated")
+        res = replay(tr, policy)
+        stats = res.policy_stats
+        assert stats["gated"] > 0
+        assert stats["capacity_blocked"] > 0
+        assert stats["max_gate"] > 0.0
+        assert res.metrics.accepted + res.metrics.rejected == \
+            res.metrics.arrivals
+
+    def test_empty_network_is_free(self):
+        tr = poisson_trace("line", events=30, seed=4, departure_prob=0.0)
+        ledger = CapacityLedger(tr.problem)
+        policy = make_policy("dual-gated")
+        policy.bind(ledger)
+        # With nothing admitted every route prices at zero, so the very
+        # first arrival is always admitted.
+        assert policy.route_price(int(ledger.candidates(0)[0])) == 0.0
+        assert policy.on_arrival(0) is not None
+
+    def test_higher_eta_admits_no_more(self):
+        tr = poisson_trace("line", events=300, seed=5, departure_prob=0.2)
+        loose = replay(tr, make_policy("dual-gated", eta=0.5))
+        stiff = replay(tr, make_policy("dual-gated", eta=4.0))
+        assert stiff.policy_stats["gated"] >= loose.policy_stats["gated"]
+
+
+class TestBatchResolve:
+    def test_single_final_flush_matches_offline_optimum(self):
+        # The PR's acceptance criterion: no departures, one flush at the
+        # end, exact inner solver -> exactly the offline optimum profit.
+        tr = poisson_trace("line", events=50, seed=7, departure_prob=0.0)
+        res = replay(tr, make_policy("batch-resolve", solver="exact",
+                                     resolve_every=0))
+        assert res.metrics.realized_profit == pytest.approx(
+            offline_optimum(tr, "exact")
+        )
+
+    def test_single_final_flush_matches_offline_optimum_tree(self):
+        tr = poisson_trace("tree", events=40, seed=8, departure_prob=0.0,
+                           workload={"n": 24})
+        res = replay(tr, make_policy("batch-resolve", solver="exact",
+                                     resolve_every=0))
+        assert res.metrics.realized_profit == pytest.approx(
+            offline_optimum(tr, "exact")
+        )
+
+    def test_never_preempts(self):
+        tr = poisson_trace("line", events=200, seed=9, departure_prob=0.0)
+        res = replay(tr, make_policy("batch-resolve", solver="greedy",
+                                     resolve_every=32))
+        # The admission log is append-only and admitted demands stay in
+        # the final solution when nothing departs.
+        final_ids = {d.demand_id for d in res.final_solution.selected}
+        assert final_ids == {d for d, _ in res.admission_log}
+
+    def test_departed_buffered_demands_are_dropped(self):
+        tr = poisson_trace("line", events=200, seed=10, departure_prob=0.6,
+                           rate=4.0)
+        res = replay(tr, make_policy("batch-resolve", solver="greedy",
+                                     resolve_every=0))
+        # Any demand that departed before the final flush must not have
+        # been admitted by it (it was dropped from the buffer).
+        from repro.online import Departure
+
+        departed = {ev.demand_id for ev in tr.events
+                    if isinstance(ev, Departure)}
+        admitted = {d for d, _ in res.admission_log}
+        assert not (admitted & departed)
+
+    def test_flush_cadence_counted(self):
+        tr = poisson_trace("line", events=120, seed=11, departure_prob=0.0)
+        policy = make_policy("batch-resolve", solver="greedy",
+                             resolve_every=25)
+        res = replay(tr, policy)
+        assert res.policy_stats["flushes"] >= 120 // 25
+        assert res.policy_stats["buffered"] == res.metrics.arrivals

@@ -1,0 +1,120 @@
+"""Tests for the (trace × policy × seed) replay runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import save_trace, trace_to_dict
+from repro.online import poisson_trace
+from repro.report import render_sweep
+from repro.runners import ReplayJob, ReplayRunner
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return poisson_trace("line", events=80, seed=1, departure_prob=0.3)
+
+
+@pytest.fixture(scope="module")
+def trace_doc(trace):
+    return trace_to_dict(trace)
+
+
+POLICY_GRID = ["greedy-threshold", "dual-gated", "batch-resolve"]
+
+
+class TestReplayRunner:
+    def test_grid_inline(self, trace_doc):
+        runner = ReplayRunner(processes=1)
+        results = runner.run_grid([trace_doc], POLICY_GRID, seeds=[0, 1])
+        assert len(results) == 6
+        assert all(r.error is None for r in results)
+        assert {r.solver for r in results} == set(POLICY_GRID)
+        for r in results:
+            assert r.stats["accepted"] == r.size
+            assert r.stats["events"] == 80
+
+    def test_results_deterministic(self, trace_doc):
+        runner = ReplayRunner(processes=1)
+        a = runner.run([ReplayJob(trace=trace_doc, policy="dual-gated")])
+        b = runner.run([ReplayJob(trace=trace_doc, policy="dual-gated")])
+        assert a[0].profit == b[0].profit
+        assert a[0].size == b[0].size
+
+    def test_cache_round_trip(self, trace_doc, tmp_path):
+        runner = ReplayRunner(processes=1, cache_dir=str(tmp_path))
+        job = ReplayJob(trace=trace_doc, policy="greedy-threshold")
+        first = runner.run([job])
+        second = runner.run([job])
+        assert not first[0].cache_hit
+        assert second[0].cache_hit
+        assert second[0].profit == first[0].profit
+
+    def test_trace_from_file(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        runner = ReplayRunner(processes=1)
+        results = runner.run([ReplayJob(trace=str(path),
+                                        policy="greedy-threshold")])
+        assert results[0].error is None
+        assert results[0].label == "trace"
+
+    def test_offline_benchmark_injected(self, trace_doc):
+        runner = ReplayRunner(processes=1, offline="greedy")
+        results = runner.run_grid([trace_doc], ["greedy-threshold",
+                                                "dual-gated"])
+        for r in results:
+            assert r.stats["offline_profit"] is not None
+            assert r.stats["competitive_ratio"] is not None
+        table = render_sweep(results)
+        assert "ALG/OPT" in table and "c-ratio" in table
+
+    def test_offline_config_changes_cache_key(self, trace_doc, tmp_path):
+        plain = ReplayRunner(processes=1, cache_dir=str(tmp_path))
+        with_opt = ReplayRunner(processes=1, cache_dir=str(tmp_path),
+                                offline="greedy")
+        job = ReplayJob(trace=trace_doc, policy="dual-gated")
+        plain.run([job])
+        res = with_opt.run([job])
+        # Not served from the offline-less cache entry.
+        assert not res[0].cache_hit
+        assert res[0].stats["offline_profit"] is not None
+
+    def test_cached_sweep_skips_offline_solve(self, trace_doc, tmp_path):
+        runner = ReplayRunner(processes=1, cache_dir=str(tmp_path),
+                              offline="greedy")
+        job = ReplayJob(trace=trace_doc, policy="dual-gated")
+        runner.run([job])
+        fresh = ReplayRunner(processes=1, cache_dir=str(tmp_path),
+                             offline="greedy")
+        res = fresh.run([job])
+        assert res[0].cache_hit
+        # The benchmark is lazy: an all-hit run never solves offline.
+        assert fresh._offline_profits_by_trace == {}
+
+    def test_error_recorded_not_raised(self, trace_doc):
+        runner = ReplayRunner(processes=1)
+        results = runner.run([ReplayJob(trace=trace_doc, policy="oracle")])
+        assert results[0].error is not None
+        assert "unknown policy" in results[0].error
+
+    def test_seed_reaches_batch_resolve_solver(self, trace_doc):
+        runner = ReplayRunner(processes=1)
+        job = ReplayJob(
+            trace=trace_doc, policy="batch-resolve",
+            params={"solver": "line-arbitrary", "resolve_every": 16},
+            seed=3,
+        )
+        res = runner.run([job])
+        assert res[0].error is None
+        assert res[0].params["seed"] == 3
+
+    def test_parallel_pool_matches_inline(self, trace_doc):
+        inline = ReplayRunner(processes=1).run_grid(
+            [trace_doc], POLICY_GRID
+        )
+        pooled = ReplayRunner(processes=2).run_grid(
+            [trace_doc], POLICY_GRID
+        )
+        assert [(r.solver, r.profit, r.size) for r in inline] == \
+               [(r.solver, r.profit, r.size) for r in pooled]

@@ -15,7 +15,9 @@ from repro.report import (
     render_comparison,
     render_decomposition,
     render_gantt,
+    render_replay,
     render_solution_summary,
+    render_sweep,
     render_tree,
 )
 
@@ -93,3 +95,69 @@ class TestSummaries:
         a = solve_tree_unit(p, epsilon=0.2, seed=8)
         out = render_comparison([("alg", a)])
         assert "OPT/ALG" not in out
+
+
+def _run_result(profit=10.0, stats=None):
+    from repro.runners import RunResult
+
+    return RunResult(label="t", solver="dual-gated", key="k",
+                     params={"seed": 0}, profit=profit, size=3,
+                     stats=stats or {}, elapsed=0.1)
+
+
+class TestRenderSweepOfflineColumns:
+    def test_no_offline_keeps_legacy_columns(self):
+        out = render_sweep([_run_result(stats={"total_rounds": 4})])
+        assert "ALG/OPT" not in out and "c-ratio" not in out
+        assert "profit" in out and "rounds" in out
+
+    def test_offline_adds_ratio_columns(self):
+        stats = {"offline_profit": 20.0, "profit_vs_offline": 0.5,
+                 "competitive_ratio": 2.0}
+        out = render_sweep([_run_result(stats=stats),
+                            _run_result(stats={})])
+        assert "ALG/OPT" in out and "c-ratio" in out
+        assert "0.500" in out and "2.000" in out
+        # The record without a benchmark renders dashes, not zeros.
+        row = out.splitlines()[-1]
+        assert "-" in row
+
+
+class TestRenderReplay:
+    def _metrics(self, offline=False):
+        from repro.online import ReplayMetrics, with_offline
+
+        m = ReplayMetrics(
+            policy="dual-gated", events=100, arrivals=70, departures=30,
+            ticks=0, accepted=35, rejected=35, acceptance_ratio=0.5,
+            realized_profit=123.4, elapsed_s=0.01, events_per_sec=10000.0,
+            latency_p50_us=12.0, latency_p90_us=30.0, latency_p99_us=80.0,
+            latency_mean_us=15.0,
+        )
+        return with_offline(m, 200.0) if offline else m
+
+    def test_basic_table(self):
+        out = render_replay([self._metrics()])
+        assert "dual-gated" in out
+        assert "acc%" in out and "events/s" in out
+        assert "offline OPT" not in out
+
+    def test_offline_columns(self):
+        out = render_replay([self._metrics(offline=True)])
+        assert "offline OPT" in out
+        assert "ALG/OPT" in out and "c-ratio" in out
+        assert "0.617" in out  # 123.4 / 200
+        assert "1.621" in out  # 200 / 123.4
+
+    def test_accepts_dicts(self):
+        out = render_replay([self._metrics().to_dict()])
+        assert "dual-gated" in out
+
+    def test_real_replay_renders(self):
+        from repro.online import make_policy, poisson_trace, replay
+
+        tr = poisson_trace("line", events=60, seed=1, departure_prob=0.3)
+        res = replay(tr, make_policy("greedy-threshold"))
+        out = render_replay([res.metrics])
+        assert "greedy-threshold" in out
+        assert str(res.metrics.accepted) in out
