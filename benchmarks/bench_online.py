@@ -1,10 +1,12 @@
 """Online admission-control throughput benchmark.
 
 Replays seeded Poisson traces of 10k and 100k events (2k in smoke mode)
-through each admission policy and records events/second, per-event
-latency percentiles, acceptance and realized profit.  Results are
-written as JSON (``BENCH_online.json``) so later changes can track the
-online hot path the way ``BENCH_hotpath.json`` tracks the offline one.
+through each admission policy — non-preemptive and preemptive alike —
+and records events/second, per-event latency percentiles, acceptance,
+realized profit, and for the preemptive policies eviction counts,
+forfeited profit and penalty-adjusted profit.  Results are written as
+JSON (``BENCH_online.json``) so later changes can track the online hot
+path the way ``BENCH_hotpath.json`` tracks the offline one.
 
 The batch-resolve policy runs with the ``greedy`` registry solver at a
 1024-arrival cadence — the exact solver is an offline benchmark, not a
@@ -27,6 +29,8 @@ POLICIES = [
     ("greedy-threshold", {}),
     ("dual-gated", {}),
     ("batch-resolve", {"solver": "greedy", "resolve_every": 1024}),
+    ("preempt-density", {"factor": 1.2}),
+    ("preempt-dual-gated", {"penalty": 0.1}),
 ]
 
 
@@ -60,6 +64,10 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
                 "accepted": m.accepted,
                 "acceptance_ratio": m.acceptance_ratio,
                 "realized_profit": m.realized_profit,
+                "evictions": m.evictions,
+                "forfeited_profit": m.forfeited_profit,
+                "penalty_paid": m.penalty_paid,
+                "penalty_adjusted_profit": m.penalty_adjusted_profit,
                 "latency_p50_us": m.latency_p50_us,
                 "latency_p99_us": m.latency_p99_us,
             }
@@ -81,10 +89,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{events} events ({case['arrivals']} arrivals, "
               f"{case['instances']} instances):")
         for name, rec in case["policies"].items():
-            print(f"  {name:<18} {rec['events_per_sec']:>9.0f} ev/s  "
-                  f"acc {100 * rec['acceptance_ratio']:.1f}%  "
-                  f"profit {rec['realized_profit']:.1f}  "
-                  f"p99 {rec['latency_p99_us']:.0f}µs")
+            line = (f"  {name:<19} {rec['events_per_sec']:>9.0f} ev/s  "
+                    f"acc {100 * rec['acceptance_ratio']:.1f}%  "
+                    f"profit {rec['realized_profit']:.1f}  ")
+            if rec.get("evictions"):
+                line += (f"evict {rec['evictions']}  "
+                         f"adj {rec['penalty_adjusted_profit']:.1f}  ")
+            line += f"p99 {rec['latency_p99_us']:.0f}µs"
+            print(line)
     print(f"written to {args.output}")
     return 0
 

@@ -2,18 +2,24 @@
 
 Generates one bursty line-network trace — demands arriving in dense
 bursts separated by quiet stretches, ~40% of them departing and freeing
-their bandwidth — and replays the *identical* stream through all three
+their bandwidth — and replays the *identical* stream through all five
 admission policies:
 
-* ``greedy-threshold`` — first-fit whatever clears a profit-density bar;
-* ``dual-gated``       — admit only demands whose profit beats the
+* ``greedy-threshold``   — first-fit whatever clears a profit-density bar;
+* ``dual-gated``         — admit only demands whose profit beats the
   exponential dual price of their route at its current load;
-* ``batch-resolve``    — buffer arrivals and periodically re-solve the
-  buffer with a registry solver, never preempting prior admissions.
+* ``batch-resolve``      — buffer arrivals and periodically re-solve the
+  buffer with a registry solver, never preempting prior admissions;
+* ``preempt-density``    — first-fit that may *evict* cheap-density
+  holders when a sufficiently profitable demand arrives blocked;
+* ``preempt-dual-gated`` — dual-gated that evicts when the arrival's
+  profit beats the victims' plus the dual price of the freed route
+  (here with a 10% compensation penalty per eviction).
 
 Every policy is then scored against the offline optimum of the frozen
 trace (the exact MILP — the clairvoyant scheduler that saw the whole
-stream in advance).
+stream in advance); preemptive rows score with their penalty-adjusted
+profit, so the competitive ratios are apples to apples.
 
 Run from the repo root::
 
@@ -50,6 +56,8 @@ def main() -> None:
         ("greedy-threshold", {"threshold": 0.0}),
         ("dual-gated", {"eta": 1.0}),
         ("batch-resolve", {"solver": "greedy", "resolve_every": 64}),
+        ("preempt-density", {"factor": 1.2}),
+        ("preempt-dual-gated", {"penalty": 0.1}),
     ]:
         result = replay(trace, make_policy(name, **kwargs))
         metrics.append(with_offline(result.metrics, opt))

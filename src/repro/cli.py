@@ -212,10 +212,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: 0.3)")
     rep.add_argument("--threshold",
                      type=_float_arg("threshold", lo=0.0), default=0.0,
-                     help="greedy-threshold: min profit per route edge")
+                     help="greedy-threshold / preempt-density: min profit "
+                          "per route edge")
     rep.add_argument("--eta", type=_float_arg("eta", lo=1e-9),
                      default=1.0,
-                     help="dual-gated: gate stiffness (default: 1.0)")
+                     help="dual-gated / preempt-dual-gated: gate "
+                          "stiffness (default: 1.0)")
+    rep.add_argument("--preempt-factor",
+                     type=_float_arg("preempt-factor", lo=1e-9),
+                     default=1.2,
+                     help="preempt-density: admit a blocked arrival only "
+                          "when its profit exceeds this multiple of the "
+                          "victims' total (default: 1.2)")
+    rep.add_argument("--penalty",
+                     type=_float_arg("penalty", lo=0.0), default=0.0,
+                     help="preemptive policies: fraction of each "
+                          "evictee's profit charged as compensation "
+                          "(default: 0.0)")
+    rep.add_argument("--policy-arg", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="extra policy constructor argument (repeatable; "
+                          "values parsed as JSON when possible)")
     rep.add_argument("--solver", default="greedy", metavar="NAME",
                      help="batch-resolve: registry solver for re-solves "
                           "(default: greedy; see epilog)")
@@ -382,6 +399,42 @@ def _replay(args) -> int:
     from .online import generate_trace, make_policy, replay, with_offline
     from .report import render_replay
 
+    policy_kwargs: dict = {
+        "greedy-threshold": lambda: {"threshold": args.threshold},
+        "dual-gated": lambda: {"eta": args.eta},
+        "batch-resolve": lambda: {
+            "solver": args.solver,
+            "resolve_every": args.resolve_every,
+            "solver_params": {"seed": args.seed},
+        },
+        "preempt-density": lambda: {
+            "factor": args.preempt_factor,
+            "penalty": args.penalty,
+            "threshold": args.threshold,
+        },
+        "preempt-dual-gated": lambda: {
+            "eta": args.eta,
+            "penalty": args.penalty,
+        },
+    }[args.policy]()
+    for entry in args.policy_arg:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"replay: --policy-arg wants KEY=VALUE, got {entry!r}"
+            )
+        try:
+            policy_kwargs[key] = json.loads(value)
+        except json.JSONDecodeError:
+            policy_kwargs[key] = value
+    # Bad kwargs (e.g. a misspelled --policy-arg name) surface as the
+    # same friendly errors bad solver names get, not a raw traceback —
+    # and before the (possibly expensive) trace is generated or loaded.
+    try:
+        policy = make_policy(args.policy, **policy_kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"replay: {exc}")
+
     if args.trace:
         trace = load_trace(args.trace)
     else:
@@ -406,16 +459,6 @@ def _replay(args) -> int:
         except (KeyError, ValueError) as exc:
             raise SystemExit(f"replay: {exc.args[0]}")
 
-    if args.policy == "greedy-threshold":
-        policy = make_policy(args.policy, threshold=args.threshold)
-    elif args.policy == "dual-gated":
-        policy = make_policy(args.policy, eta=args.eta)
-    else:
-        policy = make_policy(
-            args.policy, solver=args.solver,
-            resolve_every=args.resolve_every,
-            solver_params={"seed": args.seed},
-        )
     result = replay(trace, policy)
     metrics = result.metrics
     if args.offline:

@@ -13,7 +13,9 @@ Layering (bottom-up):
 * :mod:`~repro.online.state` — :class:`CapacityLedger`, O(path) admit /
   release on the shared vectorized conflict index;
 * :mod:`~repro.online.policies` — ``greedy-threshold``, ``dual-gated``,
-  ``batch-resolve``;
+  ``batch-resolve``, plus the preemptive ``preempt-density`` and
+  ``preempt-dual-gated`` (eviction with profit forfeiture and optional
+  penalties);
 * :mod:`~repro.online.driver` / :mod:`~repro.online.metrics` — the
   replay loop, acceptance/profit/latency metrics, offline benchmarks.
 """
@@ -42,6 +44,8 @@ from .policies import (
     BatchResolve,
     DualGated,
     GreedyThreshold,
+    PreemptDensity,
+    PreemptDualGated,
     make_policy,
 )
 from .state import CapacityLedger
@@ -57,6 +61,8 @@ __all__ = [
     "EventTrace",
     "GreedyThreshold",
     "POLICY_NAMES",
+    "PreemptDensity",
+    "PreemptDualGated",
     "ReplayMetrics",
     "ReplayResult",
     "Tick",

@@ -55,11 +55,22 @@ class ReplayMetrics:
     latency_p90_us: float
     latency_p99_us: float
     latency_mean_us: float
+    #: Demands preemptively evicted (0 for non-preemptive policies).
+    evictions: int = 0
+    #: Profit forfeited by evicted demands (already netted out of
+    #: ``realized_profit``).
+    forfeited_profit: float = 0.0
+    #: Eviction penalties charged on top of the forfeits.
+    penalty_paid: float = 0.0
+    #: ``realized_profit - penalty_paid`` — the apples-to-apples number
+    #: for comparing preemptive and non-preemptive policies.
+    penalty_adjusted_profit: float = 0.0
     #: Profit of the frozen-instance benchmark (``None`` when not computed).
     offline_profit: float | None = None
-    #: ``realized / offline`` — the fraction of the benchmark captured.
+    #: ``adjusted / offline`` — the fraction of the benchmark captured
+    #: (penalty-adjusted, so preemptive rows are comparable).
     profit_vs_offline: float | None = None
-    #: ``offline / realized`` — the (empirical) competitive ratio.
+    #: ``offline / adjusted`` — the (empirical) competitive ratio.
     competitive_ratio: float | None = None
 
     def to_dict(self) -> dict:
@@ -79,13 +90,26 @@ def offline_optimum(trace: EventTrace, solver: str = "exact", **params) -> float
 
 
 def with_offline(metrics: ReplayMetrics, offline_profit: float) -> ReplayMetrics:
-    """A copy of ``metrics`` with the offline-benchmark ratios filled in."""
-    realized = metrics.realized_profit
+    """A copy of ``metrics`` with the offline-benchmark ratios filled in.
+
+    Ratios are computed on the *penalty-adjusted* profit (realized minus
+    eviction penalties), which coincides with ``realized_profit`` for
+    non-preemptive policies, so preemptive and non-preemptive rows on
+    the same trace are directly comparable.  The degenerate 0/0 case —
+    an empty or fully-gated trace whose offline benchmark is also 0 —
+    reports both ratios as 1.0 (the policy captured everything there was
+    to capture) instead of blanking the sweep-table cells.
+    """
+    adjusted = metrics.realized_profit - metrics.penalty_paid
+    offline = float(offline_profit)
+    if offline == 0.0 and adjusted == 0.0:
+        vs_offline = competitive = 1.0
+    else:
+        vs_offline = adjusted / offline if offline > 0 else None
+        competitive = offline / adjusted if adjusted > 0 else None
     return replace(
         metrics,
-        offline_profit=float(offline_profit),
-        profit_vs_offline=(realized / offline_profit
-                           if offline_profit > 0 else None),
-        competitive_ratio=(offline_profit / realized
-                           if realized > 0 else None),
+        offline_profit=offline,
+        profit_vs_offline=vs_offline,
+        competitive_ratio=competitive,
     )

@@ -1,6 +1,6 @@
 """Pluggable admission policies for the streaming driver.
 
-Three built-in policies, selectable by name through :func:`make_policy`
+Five built-in policies, selectable by name through :func:`make_policy`
 (the CLI's ``replay --policy`` and the replay runner dispatch here):
 
 * ``greedy-threshold`` — admit a demand iff some instance fits the
@@ -19,9 +19,18 @@ Three built-in policies, selectable by name through :func:`make_policy`
   solver with a single final flush reproduces the offline optimum
   (with departures, buffered demands that leave before the flush are
   dropped, so the flush optimizes only the survivors).
+* ``preempt-density`` — first-fit like greedy-threshold, but a blocked
+  arrival may *evict* the cheapest-density holders along the contested
+  route when its profit exceeds theirs by a configurable factor (the
+  classic preemption rule; evictees forfeit their profit and may be owed
+  a penalty).
+* ``preempt-dual-gated`` — dual-gated admission that, when no instance
+  fits, evicts when the arrival's profit beats the sum of the evictees'
+  profits plus the dual price of the freed route.
 
 A policy mutates the shared :class:`~repro.online.state.CapacityLedger`
-only through ``admit``; the driver owns releases.
+only through ``admit`` and ``evict``; the driver owns releases (natural
+departures).
 """
 
 from __future__ import annotations
@@ -38,12 +47,15 @@ __all__ = [
     "GreedyThreshold",
     "DualGated",
     "BatchResolve",
+    "PreemptDensity",
+    "PreemptDualGated",
     "POLICY_NAMES",
     "make_policy",
 ]
 
 #: Stable policy names, as accepted by :func:`make_policy` and the CLI.
-POLICY_NAMES = ("greedy-threshold", "dual-gated", "batch-resolve")
+POLICY_NAMES = ("greedy-threshold", "dual-gated", "batch-resolve",
+                "preempt-density", "preempt-dual-gated")
 
 
 class AdmissionPolicy:
@@ -139,15 +151,19 @@ class DualGated(AdmissionPolicy):
         self._scale = pmin / L
         self.stats = {"gated": 0, "capacity_blocked": 0, "max_gate": 0.0}
 
-    def route_price(self, iid: int) -> float:
-        """Height-weighted exponential price of ``iid``'s route now."""
-        loads = self.ledger.route_loads(iid)
+    def _price_from_loads(self, iid: int, loads: np.ndarray) -> float:
+        """Height-weighted exponential price of ``iid``'s route at the
+        given per-edge ``loads`` (not necessarily the current ones)."""
         if len(loads) == 0:
             return 0.0
         price = self._scale * float(
             np.sum(np.power(self.mu, loads) - 1.0)
         )
         return self.ledger.instances[iid].height * price
+
+    def route_price(self, iid: int) -> float:
+        """Height-weighted exponential price of ``iid``'s route now."""
+        return self._price_from_loads(iid, self.ledger.route_loads(iid))
 
     def on_arrival(self, demand_id: int) -> int | None:
         ledger = self.ledger
@@ -156,6 +172,12 @@ class DualGated(AdmissionPolicy):
         if not ok.any():
             self.stats["capacity_blocked"] += 1
             return None
+        return self._admit_cheapest_feasible(cands, ok)
+
+    def _admit_cheapest_feasible(self, cands, ok) -> int | None:
+        """Price-gate the feasible candidates (mask precomputed by the
+        caller, so subclasses don't pay the batched probe twice)."""
+        ledger = self.ledger
         best, best_price = None, math.inf
         for iid in cands[ok].tolist():
             price = self.route_price(iid)
@@ -281,17 +303,213 @@ class BatchResolve(AdmissionPolicy):
                 self.stats["displaced"] += 1
 
 
+class _PreemptiveAdmission(AdmissionPolicy):
+    """Shared evict-and-admit epilogue for the preemptive policies.
+
+    Subclasses provide ``self.penalty`` (compensation fraction per
+    evictee) and the ``evictions`` / ``preempt_admits`` stats keys.
+    """
+
+    def _execute_preemption(self, iid: int, victims: list[int]) -> int:
+        ledger = self.ledger
+        for v in victims:
+            v_profit = ledger.instances[ledger.admitted_instance(v)].profit
+            ledger.evict(v, penalty=self.penalty * v_profit)
+        self.stats["evictions"] += len(victims)
+        self.stats["preempt_admits"] += 1
+        ledger.admit(iid)
+        return iid
+
+
+class PreemptDensity(_PreemptiveAdmission):
+    """First-fit admission with cheapest-density preemption.
+
+    An arrival that fits is admitted exactly as ``greedy-threshold``
+    would.  When *no* instance fits, the policy asks the ledger for the
+    cheapest-density eviction set along each candidate route
+    (:meth:`~repro.online.state.CapacityLedger.preemption_plan`) and
+    preempts iff the arrival's profit strictly exceeds ``(factor +
+    penalty)`` times the victims' total profit — the margin must also
+    cover the compensation the policy will owe, so a swap is never
+    executed at a penalty-adjusted loss relative to its own gate.  Among
+    viable candidates the one whose victims cost least (ties: shorter
+    route, lower instance id) wins.  Each eviction forfeits the victim's
+    profit and charges ``penalty × victim profit`` to the penalty
+    account.
+
+    Parameters
+    ----------
+    factor:
+        Preemption margin; the arrival must be worth strictly more than
+        ``factor`` times the victims' combined profit.  Values below 1
+        allow profit-losing swaps — useful only for experiments.
+    penalty:
+        Fraction of each evictee's profit charged as compensation
+        (0 = preemption is free, 1 = evicting refunds the full profit
+        again on top of forfeiting it).
+    threshold:
+        Profit-density floor for ordinary (non-preemptive) admissions,
+        as in ``greedy-threshold``.
+    """
+
+    name = "preempt-density"
+
+    def __init__(self, factor: float = 1.2, penalty: float = 0.0,
+                 threshold: float = 0.0):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if penalty < 0:
+            raise ValueError("penalty must be >= 0")
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.factor = float(factor)
+        self.penalty = float(penalty)
+        self.threshold = float(threshold)
+
+    def bind(self, ledger: CapacityLedger) -> None:
+        super().bind(ledger)
+        self.stats = {"evictions": 0, "preempt_admits": 0,
+                      "preempt_rejected": 0}
+
+    def _best_plan(self, demand_id: int):
+        """Cheapest viable ``(iid, victims)`` across the candidates."""
+        ledger = self.ledger
+        best = None
+        best_key = None
+        for iid in ledger.candidates(demand_id).tolist():
+            length = ledger.route_length(iid)
+            if ledger.instances[iid].profit / length < self.threshold:
+                continue  # the density floor gates evictions too
+            victims = ledger.preemption_plan(iid)
+            if not victims:
+                # [] = feasible without eviction (then try_admit already
+                # declined it on density); None = cannot be freed.
+                continue
+            cost = sum(
+                ledger.instances[ledger.admitted_instance(v)].profit
+                for v in victims
+            )
+            # The gate covers the compensation too: an eviction that
+            # cannot pay its own penalty is never worth executing.
+            if ledger.instances[iid].profit <= \
+                    (self.factor + self.penalty) * cost:
+                continue
+            key = (cost, length, iid)
+            if best_key is None or key < best_key:
+                best, best_key = (iid, victims), key
+        return best
+
+    def on_arrival(self, demand_id: int) -> int | None:
+        ledger = self.ledger
+        iid = ledger.try_admit(demand_id, min_density=self.threshold)
+        if iid is not None:
+            return iid
+        plan = self._best_plan(demand_id)
+        if plan is None:
+            self.stats["preempt_rejected"] += 1
+            return None
+        return self._execute_preemption(*plan)
+
+
+class PreemptDualGated(DualGated, _PreemptiveAdmission):
+    """Dual-gated admission with price-aware preemption.
+
+    Behaves exactly like ``dual-gated`` while some instance fits.  When
+    every candidate is capacity-blocked, the policy evaluates the
+    cheapest-density eviction set per candidate route and admits through
+    the candidate minimizing ``(1 + penalty) × victims' profit +
+    post-eviction route price``, iff the arrival's profit strictly beats
+    ``(1 + penalty) × victims' profit + eta ×
+    price-of-the-freed-route`` — the victims' forfeits *and* the
+    compensation owed on them, plus the dual price.  The price is the
+    same exponential dual price the non-preemptive gate uses, evaluated
+    at the loads the route *would* carry after the evictions — so
+    preempting into a still congested route stays expensive.
+
+    Parameters
+    ----------
+    eta, mu:
+        As in :class:`DualGated`.
+    penalty:
+        Fraction of each evictee's profit charged as compensation.
+    """
+
+    name = "preempt-dual-gated"
+
+    def __init__(self, eta: float = 1.0, mu: float | None = None,
+                 penalty: float = 0.0):
+        super().__init__(eta=eta, mu=mu)
+        if penalty < 0:
+            raise ValueError("penalty must be >= 0")
+        self.penalty = float(penalty)
+
+    def bind(self, ledger: CapacityLedger) -> None:
+        super().bind(ledger)
+        self.stats.update({"evictions": 0, "preempt_admits": 0,
+                           "preempt_rejected": 0})
+
+    def _freed_route_price(self, iid: int, victims: list[int]) -> float:
+        """The dual price of ``iid``'s route after evicting ``victims``."""
+        return self._price_from_loads(
+            iid, self.ledger.route_loads_excluding(iid, victims)
+        )
+
+    def on_arrival(self, demand_id: int) -> int | None:
+        ledger = self.ledger
+        cands = ledger.candidates(demand_id)
+        ok = ledger.feasible(cands)
+        if ok.any():
+            return self._admit_cheapest_feasible(cands, ok)
+        best = None
+        best_cost = math.inf
+        for iid in cands.tolist():
+            victims = ledger.preemption_plan(iid)
+            if not victims:
+                continue
+            v_cost = (1.0 + self.penalty) * sum(
+                ledger.instances[ledger.admitted_instance(v)].profit
+                for v in victims
+            )
+            price = self._freed_route_price(iid, victims)
+            if ledger.instances[iid].profit <= v_cost + self.eta * price:
+                continue
+            cost = v_cost + price
+            if cost < best_cost:
+                best, best_cost = (iid, victims), cost
+        if best is None:
+            self.stats["capacity_blocked"] += 1
+            self.stats["preempt_rejected"] += 1
+            return None
+        return self._execute_preemption(*best)
+
+
+_POLICY_CLASSES = {
+    "greedy-threshold": GreedyThreshold,
+    "dual-gated": DualGated,
+    "batch-resolve": BatchResolve,
+    "preempt-density": PreemptDensity,
+    "preempt-dual-gated": PreemptDualGated,
+}
+
+
 def make_policy(name: str, **kwargs) -> AdmissionPolicy:
     """Instantiate a policy by registry name.
 
+    Unknown names and bad keyword arguments both raise a friendly
+    :class:`ValueError` (never a raw ``TypeError`` traceback), so CLI
+    and runner layers can report them uniformly.
+
     >>> make_policy("dual-gated", eta=1.2)
     """
-    if name == "greedy-threshold":
-        return GreedyThreshold(**kwargs)
-    if name == "dual-gated":
-        return DualGated(**kwargs)
-    if name == "batch-resolve":
-        return BatchResolve(**kwargs)
-    raise ValueError(
-        f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
-    )
+    try:
+        cls = _POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+        ) from None
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for policy {name!r}: {exc}"
+        ) from None

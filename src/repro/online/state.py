@@ -9,10 +9,13 @@ the incremental :class:`~repro.core.conflict.ActiveConflictSet`:
 
 * ``feasible`` — which of a demand's instances fit the residual
   capacity right now (one batched gather/segment-max probe);
-* ``admit`` / ``release`` — scatter-add / scatter-subtract of the
-  instance's height along its route;
+* ``admit`` / ``release`` / ``evict`` — scatter-add / scatter-subtract
+  of the instance's height along its route;
 * ``route_loads`` — the current per-edge loads along a route, which the
-  dual-gated policy prices.
+  dual-gated policy prices;
+* ``holders_on_route`` / ``preemption_plan`` — which admitted demands
+  contest a route, and the cheapest-density eviction set that would make
+  it feasible (the geometry half of every preemptive policy).
 
 Nothing is ever rebuilt per event; the conflict probes are exactly the
 ones the phase-2 engine uses offline, shared through the same index.
@@ -32,9 +35,12 @@ from ..core.solution import (
 
 __all__ = ["CapacityLedger"]
 
+#: Load-comparison slack, matching the conflict index's blocked test.
+_EPS = 1e-9
+
 
 class CapacityLedger:
-    """Admit/release bookkeeping over a fixed instance population.
+    """Admit/release/evict bookkeeping over a fixed instance population.
 
     Parameters
     ----------
@@ -46,9 +52,20 @@ class CapacityLedger:
     Notes
     -----
     A demand is admitted through **one** of its instances (one accessible
-    network, one placement).  Once released it cannot be re-admitted —
-    a departure means the demand left the system for good — so realized
-    profit is simply the sum over the admission log.
+    network, one placement).  A demand leaves the admitted set in one of
+    two ways, and the profit accounting distinguishes them:
+
+    * a natural **departure** (``release``) keeps its profit — the
+      demand was served for its lifetime;
+    * a preemptive **eviction** (``evict``) *forfeits* its profit and
+      may additionally charge a penalty.
+
+    Either way the demand can never be re-admitted.  Profit is tracked
+    with running counters — ``admitted_profit`` (gross),
+    ``forfeited_profit`` and ``penalty_paid`` — rather than by summing
+    the admission log, which under preemption would overcount:
+    ``realized_profit = admitted - forfeited`` and
+    ``penalty_adjusted_profit = realized - penalties``.
     """
 
     def __init__(self, problem):
@@ -69,8 +86,22 @@ class CapacityLedger:
             self._candidates[d] = np.asarray(iids, dtype=np.int64)
         self._admitted: dict[int, int] = {}
         self._ever_admitted: set[int] = set()
+        self._evicted: set[int] = set()
         #: ``(demand_id, instance_id)`` in admission order; never shrinks.
         self.admission_log: list[tuple[int, int]] = []
+        #: ``(demand_id, instance_id)`` in eviction order; never shrinks.
+        self.eviction_log: list[tuple[int, int]] = []
+        # Running profit counters (see the class Notes): kept incrementally
+        # so realized profit stays correct under preemption, where the
+        # admission log alone overcounts.
+        self._profit_admitted = 0.0
+        self._profit_forfeited = 0.0
+        self._penalty_paid = 0.0
+        # Who currently holds each edge — the reverse map preemptive
+        # policies need to find a route's contestants in O(path).
+        self._holders_by_edge: list[set[int]] = [
+            set() for _ in range(self.index.num_edges)
+        ]
 
     # ------------------------------------------------------------------
     # Queries
@@ -91,9 +122,21 @@ class CapacityLedger:
         """Current load on each edge of instance ``iid``'s route."""
         return self.active.edge_loads(iid)
 
+    def route_length(self, iid: int) -> int:
+        """Number of edges on instance ``iid``'s route (at least 1)."""
+        return max(len(self.index.edges_of(iid)), 1)
+
     def is_admitted(self, demand_id: int) -> bool:
         """Whether the demand is currently in the system."""
         return demand_id in self._admitted
+
+    def was_admitted(self, demand_id: int) -> bool:
+        """Whether the demand was ever admitted (even if since gone)."""
+        return demand_id in self._ever_admitted
+
+    def was_evicted(self, demand_id: int) -> bool:
+        """Whether the demand was preemptively evicted at some point."""
+        return demand_id in self._evicted
 
     def admitted_instance(self, demand_id: int) -> int | None:
         """The instance a currently-admitted demand holds, else ``None``."""
@@ -105,15 +148,125 @@ class CapacityLedger:
         return len(self._admitted)
 
     @property
+    def num_evicted(self) -> int:
+        """Number of evictions performed so far."""
+        return len(self.eviction_log)
+
+    @property
+    def admitted_profit(self) -> float:
+        """Gross profit over every admission ever made."""
+        return self._profit_admitted
+
+    @property
+    def forfeited_profit(self) -> float:
+        """Profit forfeited by evicted demands."""
+        return self._profit_forfeited
+
+    @property
+    def penalty_paid(self) -> float:
+        """Total eviction penalties charged so far."""
+        return self._penalty_paid
+
+    @property
     def realized_profit(self) -> float:
-        """Total profit over the admission log (departures keep theirs)."""
-        return float(
-            sum(self.instances[iid].profit for _, iid in self.admission_log)
-        )
+        """Profit actually kept: admissions minus eviction forfeits.
+
+        Natural departures keep their profit; evictions do not.
+        """
+        return self._profit_admitted - self._profit_forfeited
+
+    @property
+    def penalty_adjusted_profit(self) -> float:
+        """Realized profit minus the eviction penalties paid."""
+        return self.realized_profit - self._penalty_paid
 
     def utilization(self) -> float:
         """Heaviest current edge load (1.0 = some edge fully booked)."""
         return self.active.max_load()
+
+    # ------------------------------------------------------------------
+    # Preemption geometry
+    # ------------------------------------------------------------------
+
+    def _edge_ids(self, iid: int) -> np.ndarray:
+        """Internal edge ids of instance ``iid``'s route (CSR order)."""
+        return self.active._edges(iid)
+
+    def holders_on_route(self, iid: int) -> set[int]:
+        """Currently-admitted demands sharing an edge with ``iid``'s route."""
+        holders: set[int] = set()
+        for eid in self._edge_ids(iid).tolist():
+            holders |= self._holders_by_edge[eid]
+        return holders
+
+    def preemption_plan(self, iid: int) -> list[int] | None:
+        """The cheapest-density eviction set that makes ``iid`` feasible.
+
+        Walks the route's current holders in ascending profit-density
+        order (profit per route edge, ties by demand id) and greedily
+        collects victims that still relieve an over-capacity edge, until
+        instance ``iid`` fits.  Returns the victim demand ids in eviction
+        order — ``[]`` when the route is already feasible, ``None`` when
+        even evicting every contestant would not free enough capacity
+        (another instance of ``iid``'s own demand can never be a victim,
+        since one demand holds at most one instance and an arriving
+        demand holds none).
+
+        This is pure geometry: the *economic* test (is the newcomer's
+        profit worth the victims'?) belongs to the policies.
+        """
+        eids = self._edge_ids(iid)
+        deficit = self.active._load[eids] + self.index._heights[iid] - 1.0
+        if (deficit <= _EPS).all():
+            return []
+        pos_of = {eid: k for k, eid in enumerate(eids.tolist())}
+        holders = sorted(
+            self.holders_on_route(iid),
+            key=lambda d: (
+                self.instances[self._admitted[d]].profit
+                / self.route_length(self._admitted[d]),
+                d,
+            ),
+        )
+        victims: list[int] = []
+        for d in holders:
+            if (deficit <= _EPS).all():
+                break
+            v_iid = self._admitted[d]
+            shared = [
+                pos_of[eid]
+                for eid in self._edge_ids(v_iid).tolist()
+                if eid in pos_of
+            ]
+            if not any(deficit[k] > _EPS for k in shared):
+                continue  # only evict holders that relieve a hot edge
+            height = float(self.index._heights[v_iid])
+            for k in shared:
+                deficit[k] -= height
+            victims.append(d)
+        if (deficit <= _EPS).all():
+            return victims
+        return None
+
+    def route_loads_excluding(self, iid: int, victims) -> np.ndarray:
+        """``route_loads(iid)`` as they would read after evicting
+        ``victims`` — the loads a post-eviction price function sees.
+
+        Kept next to :meth:`preemption_plan` so both use the same
+        shared-edge walk and height source; the result is clamped at 0
+        against float dust from the subtraction.
+        """
+        eids = self._edge_ids(iid)
+        loads = self.active._load[eids].copy()
+        pos_of = {eid: k for k, eid in enumerate(eids.tolist())}
+        for d in victims:
+            v_iid = self._admitted[d]
+            height = float(self.index._heights[v_iid])
+            for eid in self._edge_ids(v_iid).tolist():
+                k = pos_of.get(eid)
+                if k is not None:
+                    loads[k] -= height
+        return np.maximum(loads, 0.0)
 
     # ------------------------------------------------------------------
     # Mutations
@@ -125,8 +278,9 @@ class CapacityLedger:
         Raises
         ------
         ValueError
-            If the demand was admitted before (even if since departed) or
-            the instance no longer fits the residual capacity.
+            If the demand was admitted before (even if since departed or
+            evicted) or the instance no longer fits the residual
+            capacity.
         """
         demand_id = self.instances[iid].demand_id
         if demand_id in self._ever_admitted:
@@ -139,6 +293,9 @@ class CapacityLedger:
         self._admitted[demand_id] = iid
         self._ever_admitted.add(demand_id)
         self.admission_log.append((demand_id, iid))
+        self._profit_admitted += float(self.instances[iid].profit)
+        for eid in self._edge_ids(iid).tolist():
+            self._holders_by_edge[eid].add(demand_id)
 
     def try_admit(self, demand_id: int,
                   min_density: float = 0.0) -> int | None:
@@ -158,7 +315,7 @@ class CapacityLedger:
         best = None
         best_key = None
         for iid in cands[ok].tolist():
-            length = max(len(self.index.edges_of(iid)), 1)
+            length = self.route_length(iid)
             if self.instances[iid].profit / length < min_density:
                 continue
             key = (length, iid)
@@ -169,13 +326,47 @@ class CapacityLedger:
         self.admit(best)
         return best
 
-    def release(self, demand_id: int) -> int:
-        """Release a departed demand's capacity; returns its instance id."""
+    def _remove(self, demand_id: int) -> int:
+        """Drop a demand from the admitted set and the holder map."""
         try:
             iid = self._admitted.pop(demand_id)
         except KeyError:
             raise KeyError(f"demand {demand_id} is not admitted") from None
         self.active.remove(iid)
+        for eid in self._edge_ids(iid).tolist():
+            self._holders_by_edge[eid].discard(demand_id)
+        return iid
+
+    def release(self, demand_id: int) -> int:
+        """Release a departed demand's capacity; returns its instance id.
+
+        A natural departure: the demand keeps its profit.
+        """
+        return self._remove(demand_id)
+
+    def evict(self, demand_id: int, penalty: float = 0.0) -> int:
+        """Preemptively evict an admitted demand; returns its instance id.
+
+        The demand's capacity is released, its profit is *forfeited*
+        (subtracted from :attr:`realized_profit`), ``penalty`` is added
+        to :attr:`penalty_paid`, and the eviction is recorded in
+        :attr:`eviction_log`.  An evicted demand can never be
+        re-admitted.
+
+        Raises
+        ------
+        KeyError
+            If the demand is not currently admitted.
+        ValueError
+            If ``penalty`` is negative.
+        """
+        if penalty < 0:
+            raise ValueError(f"penalty must be >= 0, got {penalty}")
+        iid = self._remove(demand_id)
+        self._evicted.add(demand_id)
+        self.eviction_log.append((demand_id, iid))
+        self._profit_forfeited += float(self.instances[iid].profit)
+        self._penalty_paid += float(penalty)
         return iid
 
     # ------------------------------------------------------------------
@@ -191,9 +382,23 @@ class CapacityLedger:
         )
 
     def verify(self) -> None:
-        """Re-check the current admitted set from first principles."""
+        """Re-check the current admitted set from first principles.
+
+        Beyond the feasibility re-verification, the profit counters are
+        checked against the logs: realized profit must equal the
+        admission-log sum minus the eviction-log sum.
+        """
         sol = self.snapshot()
         if isinstance(self.problem, TreeProblem):
             verify_tree_solution(self.problem, sol, unit_height=False)
         else:
             verify_line_solution(self.problem, sol, unit_height=False)
+        log_sum = sum(self.instances[iid].profit
+                      for _, iid in self.admission_log)
+        evict_sum = sum(self.instances[iid].profit
+                        for _, iid in self.eviction_log)
+        if abs((log_sum - evict_sum) - self.realized_profit) > 1e-6:
+            raise AssertionError(
+                "profit counters drifted from the admission/eviction logs: "
+                f"{log_sum} - {evict_sum} != {self.realized_profit}"
+            )

@@ -122,16 +122,27 @@ def render_sweep(results: Sequence) -> str:
     an offline benchmark in its stats (replay sweeps through
     :class:`~repro.runners.replay.ReplayRunner`), two extra columns
     report the fraction of the offline optimum captured (``ALG/OPT``)
-    and the empirical competitive ratio (``c-ratio``).
+    and the empirical competitive ratio (``c-ratio``); when any record
+    was produced by a preemptive policy, ``evict`` and ``adj profit``
+    (penalty-adjusted) columns appear so preemptive and non-preemptive
+    rows on the same trace compare apples to apples.
     """
     results = list(results)
     with_offline = any(
         (r.stats or {}).get("offline_profit") is not None for r in results
     )
+    with_evictions = any(
+        (r.stats or {}).get("evictions") or (r.stats or {}).get("penalty_paid")
+        for r in results
+    )
     headers = ["problem", "solver", "seed", "profit", "size", "rounds",
                "λ", "time", "status"]
+    extra = []
+    if with_evictions:
+        extra += ["evict", "adj profit"]
     if with_offline:
-        headers = headers[:5] + ["ALG/OPT", "c-ratio"] + headers[5:]
+        extra += ["ALG/OPT", "c-ratio"]
+    headers = headers[:5] + extra + headers[5:]
     rows: list[list[str]] = []
     for r in results:
         stats = r.stats or {}
@@ -146,6 +157,10 @@ def render_sweep(results: Sequence) -> str:
             f"{r.profit:.2f}",
             str(r.size),
         ]
+        if with_evictions:
+            adj = stats.get("penalty_adjusted_profit", r.profit)
+            row.append(str(stats.get("evictions", 0)))
+            row.append(f"{adj:.2f}")
         if with_offline:
             vs = stats.get("profit_vs_offline")
             cr = stats.get("competitive_ratio")
@@ -167,12 +182,21 @@ def render_replay(metrics: Sequence) -> str:
     Accepts :class:`~repro.online.metrics.ReplayMetrics` records or
     their ``to_dict`` form.  The offline columns (``offline OPT``,
     ``ALG/OPT``, ``c-ratio``) appear only when at least one record
-    carries an offline benchmark.
+    carries an offline benchmark; the preemption columns (``evict``,
+    ``forfeit``, ``adj profit``) appear only when at least one record
+    evicted something or paid a penalty, and then for *every* row, so
+    preemptive and non-preemptive policies on the same trace read side
+    by side.
     """
     docs = [m if isinstance(m, dict) else m.to_dict() for m in metrics]
     with_offline = any(d.get("offline_profit") is not None for d in docs)
+    with_evictions = any(
+        d.get("evictions") or d.get("penalty_paid") for d in docs
+    )
     headers = ["policy", "events", "arrivals", "accepted", "acc%",
                "profit"]
+    if with_evictions:
+        headers += ["evict", "forfeit", "adj profit"]
     if with_offline:
         headers += ["offline OPT", "ALG/OPT", "c-ratio"]
     headers += ["p50 µs", "p99 µs", "events/s"]
@@ -186,6 +210,12 @@ def render_replay(metrics: Sequence) -> str:
             f"{100.0 * d.get('acceptance_ratio', 0.0):.1f}",
             f"{d.get('realized_profit', 0.0):.2f}",
         ]
+        if with_evictions:
+            adj = d.get("penalty_adjusted_profit",
+                        d.get("realized_profit", 0.0))
+            row.append(str(d.get("evictions", 0)))
+            row.append(f"{d.get('forfeited_profit', 0.0):.2f}")
+            row.append(f"{adj:.2f}")
         if with_offline:
             opt = d.get("offline_profit")
             vs = d.get("profit_vs_offline")

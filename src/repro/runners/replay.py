@@ -9,7 +9,9 @@ returns the same :class:`~repro.runners.batch.RunResult` records (policy
 name in the ``solver`` slot, the full metrics dict in ``stats``) so
 :func:`repro.report.render_sweep` tabulates replay sweeps unchanged —
 including the competitive-ratio columns when an offline benchmark
-solver is configured.
+solver is configured, and the eviction/penalty-adjusted-profit columns
+when preemptive policies ran, so non-preemptive and preemptive rows on
+the same traces land side by side in one table.
 
 Offline benchmark profits are computed once per distinct trace in the
 parent process and injected into every job sharing that trace, so an
@@ -47,11 +49,15 @@ class ReplayJob:
         Path to a trace JSON file (``repro.io.save_trace``), or the
         in-memory trace document (``repro.io.trace_to_dict`` form).
     policy:
-        ``"greedy-threshold"``, ``"dual-gated"`` or ``"batch-resolve"``.
+        Any :data:`~repro.online.policies.POLICY_NAMES` entry —
+        ``"greedy-threshold"``, ``"dual-gated"``, ``"batch-resolve"``,
+        ``"preempt-density"`` or ``"preempt-dual-gated"``.
     params:
         Keyword arguments for the policy constructor; for
         ``batch-resolve`` this includes ``solver`` / ``resolve_every`` /
-        ``solver_params``.
+        ``solver_params``, for the preemptive policies ``factor`` /
+        ``penalty``.  Misspelled keys are reported as friendly errors in
+        the job's ``error`` slot, not raised as ``TypeError``.
     seed:
         Convenience alias merged into
         ``params["solver_params"]["seed"]`` (batch-resolve) — recorded

@@ -153,6 +153,37 @@ class TestReplay:
             main(["replay", "--policy", "oracle"])
         assert "invalid choice" in capsys.readouterr().err
 
+    def test_preemptive_policies_end_to_end(self, capsys):
+        for kind in ["line", "tree"]:
+            assert main(["replay", "--policy", "preempt-density",
+                         "--kind", kind, "--events", "200",
+                         "--process", "bursty", "--seed", "3"]) == 0
+            out = capsys.readouterr().out
+            assert "preempt-density" in out
+            assert "evict" in out and "adj profit" in out
+        assert main(["replay", "--policy", "preempt-dual-gated",
+                     "--events", "200", "--process", "bursty",
+                     "--penalty", "0.2", "--seed", "3"]) == 0
+        assert "preempt-dual-gated" in capsys.readouterr().out
+
+    def test_misspelled_policy_kwarg_friendly(self, capsys):
+        # The PR-2 friendly-error treatment extends to policy kwargs: a
+        # misspelled --policy-arg exits with a message, not a TypeError
+        # traceback — and before any trace is generated.
+        with pytest.raises(SystemExit,
+                           match="bad parameters for policy"):
+            main(["replay", "--policy", "dual-gated",
+                  "--policy-arg", "etaa=1.3"])
+        assert "generated" not in capsys.readouterr().out
+
+    def test_policy_arg_passthrough_and_format_check(self, capsys):
+        assert main(["replay", "--policy", "dual-gated", "--events", "60",
+                     "--policy-arg", "eta=2.0"]) == 0
+        assert "dual-gated" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(["replay", "--policy", "dual-gated",
+                  "--policy-arg", "eta"])
+
 
 class TestFriendlyArgumentErrors:
     """Bad --seed/--processes/... values exit with a message, never a

@@ -37,8 +37,18 @@ class TestReplay:
         assert m.departures == tr.num_departures
         assert m.accepted + m.rejected == m.arrivals
         assert m.acceptance_ratio == pytest.approx(m.accepted / m.arrivals)
+        # Realized profit is NOT the admission-log sum — under preemption
+        # the log overcounts; evicted demands forfeit theirs.
         assert m.realized_profit == pytest.approx(
             sum(tr.problem.demands[d].profit for d, _ in res.admission_log)
+            - sum(tr.problem.demands[d].profit for d, _ in res.eviction_log)
+        )
+        assert m.forfeited_profit == pytest.approx(
+            sum(tr.problem.demands[d].profit for d, _ in res.eviction_log)
+        )
+        assert m.evictions == len(res.eviction_log)
+        assert m.penalty_adjusted_profit == pytest.approx(
+            m.realized_profit - m.penalty_paid
         )
         assert m.events_per_sec > 0
         # The final admitted set is feasible from first principles.
@@ -74,6 +84,51 @@ class TestReplay:
         assert res.trace_meta["seed"] == 3
 
 
+class TestLatencyAccounting:
+    def test_finish_flush_lands_in_latency_sample(self):
+        """Regression: the end-of-trace finish() — batch-resolve's most
+        expensive operation — must appear in the percentiles."""
+        import time as _time
+
+        from repro.online import AdmissionPolicy
+
+        class SlowFinish(AdmissionPolicy):
+            name = "slow-finish"
+
+            def on_arrival(self, demand_id):
+                return None
+
+            def finish(self):
+                _time.sleep(0.02)
+
+        tr = poisson_trace("line", events=10, seed=1, departure_prob=0.0)
+        res = replay(tr, SlowFinish())
+        # 11 samples, one of them ≈ 20 ms: p99 must reflect the flush.
+        assert res.metrics.latency_p99_us > 10_000.0
+
+    def test_ledger_release_not_timed_as_policy_work(self, monkeypatch):
+        """Regression: the departure branch times only on_departure();
+        the driver's own ledger.release() stays outside the window."""
+        import time as _time
+
+        from repro.online.state import CapacityLedger
+
+        original = CapacityLedger.release
+
+        def slow_release(self, demand_id):
+            _time.sleep(0.005)
+            return original(self, demand_id)
+
+        monkeypatch.setattr(CapacityLedger, "release", slow_release)
+        tr = poisson_trace("line", events=120, seed=2, departure_prob=0.6,
+                           rate=4.0)
+        assert tr.num_departures > 10
+        res = replay(tr, make_policy("greedy-threshold"))
+        # Were release timed, every departure sample would be ≥ 5000 µs
+        # and the tail percentile would blow straight past it.
+        assert res.metrics.latency_p99_us < 5_000.0
+
+
 class TestOfflineComparison:
     def test_with_offline_ratios(self):
         tr = poisson_trace("line", events=80, seed=4, departure_prob=0.0)
@@ -89,6 +144,43 @@ class TestOfflineComparison:
         )
         # Without departures no policy can beat the clairvoyant optimum.
         assert m.profit_vs_offline <= 1.0 + 1e-9
+
+    def test_zero_over_zero_reports_unit_ratios(self):
+        """Regression: a fully-gated replay of a trace whose offline
+        benchmark is also 0 reports 1.0/1.0, not blank cells."""
+        import math
+
+        tr = poisson_trace("line", events=40, seed=12, departure_prob=0.0)
+        res = replay(tr, make_policy("greedy-threshold",
+                                     threshold=math.inf))
+        assert res.metrics.realized_profit == 0.0
+        m = with_offline(res.metrics, 0.0)
+        assert m.profit_vs_offline == 1.0
+        assert m.competitive_ratio == 1.0
+
+    def test_zero_realized_against_positive_offline(self):
+        import math
+
+        tr = poisson_trace("line", events=40, seed=12, departure_prob=0.0)
+        res = replay(tr, make_policy("greedy-threshold",
+                                     threshold=math.inf))
+        m = with_offline(res.metrics, 25.0)
+        # 0/positive is a real score; positive/0 stays undefined.
+        assert m.profit_vs_offline == 0.0
+        assert m.competitive_ratio is None
+
+    def test_ratios_use_penalty_adjusted_profit(self):
+        tr = bursty_trace("line", events=300, seed=3, departure_prob=0.3)
+        res = replay(tr, make_policy("preempt-density", penalty=0.5))
+        m = res.metrics
+        assert m.penalty_paid > 0
+        scored = with_offline(m, 100.0)
+        assert scored.profit_vs_offline == pytest.approx(
+            (m.realized_profit - m.penalty_paid) / 100.0
+        )
+        assert scored.competitive_ratio == pytest.approx(
+            100.0 / (m.realized_profit - m.penalty_paid)
+        )
 
     def test_offline_optimum_solver_params_filtered(self):
         tr = poisson_trace("line", events=30, seed=6, departure_prob=0.0)

@@ -34,6 +34,19 @@ class TestMakePolicy:
         with pytest.raises(ValueError, match="resolve_every"):
             make_policy("batch-resolve", resolve_every=-2)
 
+    def test_preemptive_names_resolve(self):
+        assert make_policy("preempt-density").name == "preempt-density"
+        assert make_policy("preempt-dual-gated", penalty=0.5).name == \
+            "preempt-dual-gated"
+
+    def test_misspelled_kwargs_are_friendly(self):
+        # Never a raw TypeError: misspelled constructor keywords get the
+        # same ValueError treatment as unknown policy names.
+        with pytest.raises(ValueError, match="bad parameters for policy"):
+            make_policy("dual-gated", etaa=1.3)
+        with pytest.raises(ValueError, match="preempt-density"):
+            make_policy("preempt-density", factr=2.0)
+
 
 class TestGreedyThreshold:
     def test_zero_threshold_admits_whatever_fits(self):

@@ -20,19 +20,24 @@ def trace_doc(trace):
     return trace_to_dict(trace)
 
 
-POLICY_GRID = ["greedy-threshold", "dual-gated", "batch-resolve"]
+POLICY_GRID = ["greedy-threshold", "dual-gated", "batch-resolve",
+               "preempt-density", "preempt-dual-gated"]
 
 
 class TestReplayRunner:
     def test_grid_inline(self, trace_doc):
         runner = ReplayRunner(processes=1)
         results = runner.run_grid([trace_doc], POLICY_GRID, seeds=[0, 1])
-        assert len(results) == 6
+        assert len(results) == 10
         assert all(r.error is None for r in results)
         assert {r.solver for r in results} == set(POLICY_GRID)
         for r in results:
             assert r.stats["accepted"] == r.size
             assert r.stats["events"] == 80
+            # Realized profit stays forfeit-corrected through the runner.
+            assert r.stats["penalty_adjusted_profit"] == pytest.approx(
+                r.stats["realized_profit"] - r.stats["penalty_paid"]
+            )
 
     def test_results_deterministic(self, trace_doc):
         runner = ReplayRunner(processes=1)
@@ -97,6 +102,26 @@ class TestReplayRunner:
         results = runner.run([ReplayJob(trace=trace_doc, policy="oracle")])
         assert results[0].error is not None
         assert "unknown policy" in results[0].error
+
+    def test_bad_policy_kwargs_recorded_friendly(self, trace_doc):
+        runner = ReplayRunner(processes=1)
+        results = runner.run([ReplayJob(trace=trace_doc,
+                                        policy="preempt-density",
+                                        params={"factr": 2.0})])
+        assert results[0].error is not None
+        assert "bad parameters for policy" in results[0].error
+
+    def test_preemptive_grid_renders_side_by_side(self, trace_doc):
+        runner = ReplayRunner(processes=1, offline="greedy")
+        results = runner.run_grid(
+            [trace_doc], ["greedy-threshold", "preempt-density"]
+        )
+        assert all(r.error is None for r in results)
+        table = render_sweep(results)
+        # Non-preemptive and preemptive competitive ratios side by side,
+        # with the eviction columns present for both rows.
+        assert "c-ratio" in table and "evict" in table
+        assert "adj profit" in table
 
     def test_seed_reaches_batch_resolve_solver(self, trace_doc):
         runner = ReplayRunner(processes=1)

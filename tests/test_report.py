@@ -153,6 +153,27 @@ class TestRenderReplay:
         out = render_replay([self._metrics().to_dict()])
         assert "dual-gated" in out
 
+    def test_no_eviction_columns_without_preemption(self):
+        out = render_replay([self._metrics()])
+        assert "evict" not in out and "adj profit" not in out
+
+    def test_eviction_columns_appear_for_every_row(self):
+        from dataclasses import replace
+
+        plain = self._metrics()
+        preempt = replace(
+            plain, policy="preempt-density", evictions=7,
+            forfeited_profit=20.0, penalty_paid=2.0,
+            realized_profit=150.0, penalty_adjusted_profit=148.0,
+        )
+        out = render_replay([plain, preempt])
+        assert "evict" in out and "forfeit" in out and "adj profit" in out
+        rows = out.splitlines()
+        # The non-preemptive row shows zeros, not blanks, so the two
+        # policies read side by side.
+        assert "148.00" in rows[-1] and "7" in rows[-1]
+        assert "0" in rows[-2]
+
     def test_real_replay_renders(self):
         from repro.online import make_policy, poisson_trace, replay
 
@@ -161,3 +182,13 @@ class TestRenderReplay:
         out = render_replay([res.metrics])
         assert "greedy-threshold" in out
         assert str(res.metrics.accepted) in out
+
+    def test_real_preemptive_replay_renders(self):
+        from repro.online import bursty_trace, make_policy, replay
+
+        tr = bursty_trace("line", events=300, seed=3, departure_prob=0.3)
+        res = replay(tr, make_policy("preempt-density", penalty=0.1))
+        assert res.metrics.evictions > 0
+        out = render_replay([res.metrics])
+        assert "preempt-density" in out
+        assert "evict" in out and "adj profit" in out
