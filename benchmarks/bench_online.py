@@ -14,6 +14,16 @@ throughput policy.  Verification of the final admitted set stays ON:
 feasibility checking is part of the work a production admission layer
 cannot skip.
 
+A second table tracks the **sharded admission engine**: one Poisson
+tree trace with localized demands is replayed through
+:class:`~repro.sharding.ShardedDriver` at 1/2/4 shards, recording the
+boundary (cut-crossing) fraction and throughput two ways — single-host
+wall clock, and the *critical path* (slowest shard replay plus the
+serialized absorb hand-off and boundary phase), which is the rate an
+N-worker deployment sustains and converges to wall clock on an N-core
+host.  The headline
+``events_per_sec`` of a sharded row is the critical-path rate.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_online.py [--smoke] [-o OUT]
@@ -72,10 +82,66 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
                 "latency_p99_us": m.latency_p99_us,
             }
         report["cases"][str(events)] = case
+    report["sharding"] = run_sharding_bench(smoke=smoke)
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(report, fh, indent=2)
     return report
+
+
+#: Sharding benchmark trace: localized demands on a larger random tree,
+#: so the balancer cut lines separate real work instead of slicing
+#: every route.
+SHARDING_TRACE = dict(kind="tree", process="poisson", seed=0,
+                      departure_prob=0.3,
+                      workload={"n": 768, "locality": 0.03})
+
+
+def run_sharding_bench(smoke: bool = False) -> dict:
+    """Throughput-vs-shards on the Poisson tree trace (greedy-threshold).
+
+    ``events_per_sec`` per row is the critical-path (deployment) rate;
+    ``wall_events_per_sec`` is what this single host measured end to
+    end.  ``speedup`` compares the critical path against the unsharded
+    single-ledger driver on the identical trace.
+    """
+    from repro.online import generate_trace, make_policy, replay
+    from repro.sharding import ShardedDriver
+
+    events = 4_000 if smoke else 20_000
+    spec = dict(SHARDING_TRACE)
+    kind = spec.pop("kind")
+    trace = generate_trace(kind, events=events, **spec)
+    base = replay(trace, make_policy("greedy-threshold"))
+    out: dict = {
+        "trace": {"kind": kind, "events": len(trace.events), **{
+            k: v for k, v in spec.items() if k != "workload"
+        }, "workload": spec["workload"]},
+        "policy": "greedy-threshold",
+        "unsharded_events_per_sec": base.metrics.events_per_sec,
+        "note": ("events_per_sec is the critical-path rate: total events"
+                 " / (slowest shard replay + serialized absorb + boundary phase),"
+                 " the throughput an N-worker deployment sustains;"
+                 " wall_events_per_sec is this host's end-to-end rate"),
+        "rows": [],
+    }
+    for shards in (1, 2, 4):
+        res = ShardedDriver(shards, "subtree").run(
+            trace, "greedy-threshold", {}
+        )
+        cp = res.critical_path_events_per_sec
+        out["rows"].append({
+            "shards": shards,
+            "events_per_sec": cp,
+            "wall_events_per_sec": res.merged.events_per_sec,
+            "speedup": cp / base.metrics.events_per_sec,
+            "boundary_demands": res.plan["boundary_demands"],
+            "boundary_fraction": res.plan["boundary_fraction"],
+            "local_demands": res.plan["local_demands"],
+            "accepted": res.merged.accepted,
+            "realized_profit": res.merged.realized_profit,
+        })
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -97,6 +163,14 @@ def main(argv: list[str] | None = None) -> int:
                          f"adj {rec['penalty_adjusted_profit']:.1f}  ")
             line += f"p99 {rec['latency_p99_us']:.0f}µs"
             print(line)
+    sharding = report["sharding"]
+    print(f"sharding ({sharding['trace']['events']} events, poisson tree, "
+          f"{sharding['unsharded_events_per_sec']:.0f} ev/s unsharded):")
+    for row in sharding["rows"]:
+        print(f"  shards={row['shards']}  {row['events_per_sec']:>9.0f} ev/s"
+              f" (critical path)  x{row['speedup']:.2f}  boundary "
+              f"{100 * row['boundary_fraction']:.1f}%  "
+              f"wall {row['wall_events_per_sec']:.0f} ev/s")
     print(f"written to {args.output}")
     return 0
 

@@ -112,6 +112,13 @@ from .report import (
     render_tree,
 )
 from .runners import BatchRunner, Job, ReplayJob, ReplayRunner, RunResult
+from .sharding import (
+    BoundaryBroker,
+    ShardedDriver,
+    ShardedLedger,
+    ShardPlan,
+    ShardPlanner,
+)
 from .workloads import TREE_TOPOLOGIES, make_tree, random_line_problem, random_tree_problem
 
 __version__ = "1.0.0"
@@ -142,6 +149,11 @@ __all__ = [
     "LineNetwork",
     "LineProblem",
     "RunResult",
+    "BoundaryBroker",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedDriver",
+    "ShardedLedger",
     "Solution",
     "TreeDecomposition",
     "TreeDemandInstance",

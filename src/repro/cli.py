@@ -7,6 +7,8 @@ python -m repro compare   problem.json
 python -m repro sweep     a.json b.json --solvers tree-unit,sequential --seeds 0,1,2
 python -m repro bench     --smoke
 python -m repro replay    --policy dual-gated --events 10000
+python -m repro replay    trace.json --shards 4 --shard-by subtree
+python -m repro sweep-preemption --factors 1.2,2.0 --penalties 0,0.25
 python -m repro decompose --topology caterpillar --n 32
 ```
 
@@ -16,8 +18,11 @@ the paper's algorithm, the relevant baseline, greedy, and the exact
 optimum side by side; ``sweep`` fans (instance, solver, seed) jobs across
 a process pool with result caching; ``bench`` times the vectorized hot
 path; ``replay`` streams an event trace through an online admission
-policy (generating and optionally saving the trace on the fly);
-``decompose`` prints the Section 4 decomposition table.
+policy (generating and optionally saving the trace on the fly), and
+with ``--shards N`` fans it across the sharded admission engine;
+``sweep-preemption`` grids preemption factor × penalty over saved
+traces and reports where preemption stops paying; ``decompose`` prints
+the Section 4 decomposition table.
 
 Algorithm names are resolved through the solver registry
 (:mod:`repro.algorithms.registry`); ``--algorithm help`` or the epilog of
@@ -71,6 +76,32 @@ def _float_arg(name: str, lo: float | None = None, hi: float | None = None):
                 f"{name} must be {span}, got {value}"
             )
         return value
+
+    return parse
+
+
+def _float_list(name: str, lo: float | None = None):
+    """Parse ``--factors 1.0,1.2`` with a friendly error on bad entries."""
+
+    def parse(text: str) -> list[float]:
+        values: list[float] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                values.append(float(part))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"{name} must be comma-separated numbers, got {part!r}"
+                )
+            if lo is not None and values[-1] < lo:
+                raise argparse.ArgumentTypeError(
+                    f"{name} entries must be >= {lo}, got {values[-1]}"
+                )
+        if not values:
+            raise argparse.ArgumentTypeError(f"need at least one {name} value")
+        return values
 
     return parse
 
@@ -243,10 +274,58 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--offline", default=None, metavar="NAME",
                      help="also compute the offline benchmark with this "
                           "registry solver (e.g. exact, greedy)")
+    from .sharding import SHARD_STRATEGIES
+
+    rep.add_argument("--shards", type=_int_arg("shards", minimum=1),
+                     default=1,
+                     help="fan the replay across this many shard workers "
+                          "(default: 1 = the single-ledger driver)")
+    rep.add_argument("--shard-by", default="subtree",
+                     choices=SHARD_STRATEGIES,
+                     help="partition strategy: balancer subtrees or "
+                          "decomposition layers (default: subtree)")
+    rep.add_argument("--processes", type=_int_arg("processes", minimum=0),
+                     default=None,
+                     help="shard worker pool size (default: min(shards, "
+                          "CPU count); 0 or 1 = inline)")
     rep.add_argument("--save-trace", default=None,
                      help="write the (generated) trace JSON here")
     rep.add_argument("-o", "--output", default=None,
                      help="write the metrics JSON here")
+
+    swp_p = sub.add_parser(
+        "sweep-preemption",
+        help="sweep preemption factor × penalty grids over saved traces",
+        epilog="with no trace arguments the pinned tests/data corpus "
+               "(relative to the working directory) is used",
+    )
+    swp_p.add_argument("traces", nargs="*",
+                       help="trace JSON files (default: the pinned "
+                            "tests/data corpus)")
+    swp_p.add_argument("--policy", default="preempt-density",
+                       choices=["preempt-density", "preempt-dual-gated"])
+    swp_p.add_argument("--factors", type=_float_list("factors", lo=1e-9),
+                       default=[1.0, 1.2, 1.5, 2.0],
+                       help="preempt-density factors (default: "
+                            "1.0,1.2,1.5,2.0; ignored for "
+                            "preempt-dual-gated)")
+    swp_p.add_argument("--penalties", type=_float_list("penalties", lo=0.0),
+                       default=[0.0, 0.1, 0.25, 0.5],
+                       help="compensation fractions (default: "
+                            "0.0,0.1,0.25,0.5)")
+    swp_p.add_argument("--baseline", default="greedy-threshold",
+                       help="non-preemptive yardstick policy "
+                            "(default: greedy-threshold)")
+    swp_p.add_argument("--offline", default=None, metavar="NAME",
+                       help="offline benchmark solver for the ratio "
+                            "columns (e.g. exact, greedy)")
+    swp_p.add_argument("--processes", type=_int_arg("processes", minimum=0),
+                       default=None,
+                       help="pool size (default: CPU count; 0/1 = inline)")
+    swp_p.add_argument("--cache-dir", default=None,
+                       help="memoise replay results here")
+    swp_p.add_argument("-o", "--output", default=None,
+                       help="write structured JSON results here")
 
     dec = sub.add_parser("decompose",
                          help="Section 4 decomposition table for a topology")
@@ -459,6 +538,9 @@ def _replay(args) -> int:
         except (KeyError, ValueError) as exc:
             raise SystemExit(f"replay: {exc.args[0]}")
 
+    if args.shards > 1:
+        return _replay_sharded(args, trace, policy_kwargs)
+
     result = replay(trace, policy)
     metrics = result.metrics
     if args.offline:
@@ -476,6 +558,124 @@ def _replay(args) -> int:
             json.dump(doc, fh, indent=2)
         print(f"metrics written to {args.output}")
     return 0
+
+
+def _replay_sharded(args, trace, policy_kwargs: dict) -> int:
+    """The ``replay --shards N`` branch: plan, fan out, merge, render."""
+    from .online import with_offline
+    from .report import render_sharded_replay
+    from .sharding import ShardedDriver
+
+    driver = ShardedDriver(args.shards, shard_by=args.shard_by,
+                           processes=args.processes)
+    result = driver.run(trace, args.policy, policy_kwargs)
+    merged = result.merged
+    if args.offline:
+        from .online import offline_optimum
+
+        merged = with_offline(
+            merged, offline_optimum(trace, args.offline, seed=args.seed)
+        )
+    print(render_sharded_replay(result, merged))
+    if args.output:
+        doc = {
+            "plan": result.plan,
+            "shards": [r.metrics.to_dict() for r in result.shard_results],
+            "boundary": (result.boundary_result.metrics.to_dict()
+                         if result.boundary_result else None),
+            "merged": merged.to_dict(),
+            "policy_stats": result.policy_stats,
+            "wall_s": result.wall_s,
+            "critical_path_s": result.critical_path_s,
+            "critical_path_events_per_sec":
+                result.critical_path_events_per_sec,
+            "trace_meta": dict(trace.meta),
+        }
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"metrics written to {args.output}")
+    return 0
+
+
+def _sweep_preemption(args) -> int:
+    """Factor × penalty preemption sweep over saved traces.
+
+    A thin wrapper over the :class:`~repro.runners.replay.ReplayRunner`
+    grid: one baseline row per trace plus one row per (factor, penalty)
+    cell, rendered through the shared sweep table, followed by a
+    break-even summary of where preemption stops paying (judged on
+    penalty-adjusted profit vs the baseline).
+    """
+    import glob
+    import os
+
+    from .report import render_sweep
+    from .runners.replay import ReplayJob, ReplayRunner
+
+    traces = list(args.traces)
+    if not traces:
+        traces = sorted(glob.glob(os.path.join("tests", "data",
+                                               "trace_*.json")))
+        if not traces:
+            raise SystemExit(
+                "sweep-preemption: no traces given and no pinned corpus "
+                "found under tests/data/ — pass trace JSON files "
+                "(repro replay --save-trace writes them)"
+            )
+    factors = args.factors if args.policy == "preempt-density" else [None]
+    jobs: list[ReplayJob] = []
+    for path in traces:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        jobs.append(ReplayJob(trace=path, policy=args.baseline,
+                              label=f"{stem} baseline"))
+        for f in factors:
+            for q in args.penalties:
+                params = {"penalty": q}
+                tag = f"q={q:g}"
+                if f is not None:
+                    params["factor"] = f
+                    tag = f"f={f:g} {tag}"
+                jobs.append(ReplayJob(trace=path, policy=args.policy,
+                                      params=params,
+                                      label=f"{stem} {tag}"))
+    runner = ReplayRunner(processes=args.processes,
+                          cache_dir=args.cache_dir,
+                          offline=args.offline)
+    results = runner.run(jobs)
+    print(render_sweep(results))
+
+    def adj(r):
+        return (r.stats or {}).get("penalty_adjusted_profit", r.profit)
+
+    per_trace = len(results) // len(traces)
+    print()
+    for i, path in enumerate(traces):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        block = results[i * per_trace:(i + 1) * per_trace]
+        base, grid = block[0], block[1:]
+        if base.error:
+            # A zero-profit errored baseline would make every grid cell
+            # look like a win; say what happened instead.
+            print(f"{stem}: baseline {args.baseline} failed — "
+                  "no break-even summary (see the error column above)")
+            continue
+        cells = len(args.penalties)
+        for j, f in enumerate(factors):
+            row = grid[j * cells:(j + 1) * cells]
+            paying = [q for q, r in zip(args.penalties, row)
+                      if not r.error and adj(r) > adj(base)]
+            label = f"factor {f:g}" if f is not None else args.policy
+            if paying:
+                print(f"{stem}: {label} beats {args.baseline} up to "
+                      f"penalty {max(paying):g}")
+            else:
+                print(f"{stem}: {label} never beats {args.baseline} — "
+                      "preemption stops paying")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump([r.to_dict() for r in results], fh, indent=2)
+        print(f"results written to {args.output}")
+    return 1 if any(r.error for r in results) else 0
 
 
 def _decompose(args) -> int:
@@ -511,6 +711,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _sweep,
         "bench": _bench,
         "replay": _replay,
+        "sweep-preemption": _sweep_preemption,
         "decompose": _decompose,
     }
     return handlers[args.command](args)

@@ -26,10 +26,40 @@ from .demand import (
     WindowDemand,
 )
 
-__all__ = ["TreeProblem", "LineProblem", "GlobalEdge"]
+__all__ = ["TreeProblem", "LineProblem", "GlobalEdge", "subproblem_of"]
 
 #: ``(network_id, edge_key)`` for trees, ``(network_id, timeslot)`` for lines.
 GlobalEdge = tuple[int, Hashable]
+
+
+def subproblem_of(problem, demand_ids: Sequence[int],
+                  extra_demands: Sequence = (),
+                  extra_access: Sequence = ()):
+    """A standalone problem over a subset of ``problem``'s demands.
+
+    Demand ids are densified to ``0 ..`` in ``demand_ids`` order (then
+    any ``extra_demands``, renumbered to continue the sequence, each
+    paired with its ``extra_access`` set); networks and access sets are
+    shared with the full problem, so every route is bit-identical to its
+    counterpart.  Used by the batch-resolve re-solve (extras carry the
+    admitted load as blockers) and the shard planner.
+    """
+    from dataclasses import replace
+
+    demands = [replace(problem.demands[d], demand_id=i)
+               for i, d in enumerate(demand_ids)]
+    access = [problem.access[d] for d in demand_ids]
+    for extra, acc in zip(extra_demands, extra_access):
+        demands.append(replace(extra, demand_id=len(demands)))
+        access.append(frozenset(acc))
+    if isinstance(problem, TreeProblem):
+        return TreeProblem(n=problem.n, networks=problem.networks,
+                           demands=demands, access=access)
+    if isinstance(problem, LineProblem):
+        return LineProblem(n_slots=problem.n_slots,
+                           resources=problem.resources,
+                           demands=demands, access=access)
+    raise TypeError(f"cannot take a subproblem of {type(problem).__name__}")
 
 
 def _validate_access(access: Sequence[set[int]], m: int, r: int) -> list[frozenset[int]]:

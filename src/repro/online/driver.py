@@ -31,7 +31,8 @@ from .metrics import ReplayMetrics, latency_percentiles
 from .policies import AdmissionPolicy
 from .state import CapacityLedger
 
-__all__ = ["ReplayResult", "replay"]
+__all__ = ["ReplayResult", "assemble_result", "certificate_of", "replay",
+           "stream_events"]
 
 
 @dataclass
@@ -65,29 +66,22 @@ class ReplayResult:
     trace_meta: dict = field(default_factory=dict)
 
 
-def replay(trace: EventTrace, policy: AdmissionPolicy, *,
-           verify: bool = True) -> ReplayResult:
-    """Stream ``trace`` through ``policy`` and measure the outcome.
+def stream_events(ledger: CapacityLedger, events, policy: AdmissionPolicy):
+    """The timed event loop shared by :func:`replay` and the sharded
+    :class:`~repro.sharding.ledger.BoundaryBroker`.
 
-    Parameters
-    ----------
-    trace:
-        The event stream plus its frozen demand population.
-    policy:
-        An unbound :class:`~repro.online.policies.AdmissionPolicy`; it
-        is bound to a fresh :class:`~repro.online.state.CapacityLedger`
-        here, so one policy object can be reused across replays.
-    verify:
-        Re-check the final admitted set against the problem definition
-        (cheap; disable only in throughput benchmarks).
+    ``policy`` must already be bound to ``ledger``.  Returns
+    ``(arrivals, departures, ticks, latencies, elapsed_s)``.  Every
+    event's *policy* work is timed individually; the ledger bookkeeping
+    on a departure (``ledger.release``) happens outside the timed
+    window, and the final ``finish()`` flush — often the single most
+    expensive operation for batching policies — contributes one extra
+    latency sample of its own.
     """
-    ledger = CapacityLedger(trace.problem)
-    policy.bind(ledger)
     latencies: list[float] = []
     arrivals = departures = ticks = 0
-
     t_start = time.perf_counter()
-    for ev in trace.events:
+    for ev in events:
         if isinstance(ev, Arrival):
             arrivals += 1
             t0 = time.perf_counter()
@@ -108,45 +102,110 @@ def replay(trace: EventTrace, policy: AdmissionPolicy, *,
             t0 = time.perf_counter()
             policy.on_tick(ev.time)
             latencies.append(time.perf_counter() - t0)
-    # The final flush is frequently the most expensive single operation
-    # (batch-resolve's full re-solve); time it like any other event so it
-    # shows up in the percentiles instead of vanishing from them.
     t0 = time.perf_counter()
     policy.finish()
     latencies.append(time.perf_counter() - t0)
     elapsed = time.perf_counter() - t_start
+    return arrivals, departures, ticks, latencies, elapsed
 
-    if verify:
-        ledger.verify()
 
-    accepted = len(ledger.admission_log)
+def certificate_of(policy: AdmissionPolicy) -> dict | None:
+    """A price-carrying policy's upper-bound certificate, else ``None``.
+
+    Called after the replay clock stops, so the certificate never
+    pollutes the latency percentiles.
+    """
+    certify = getattr(policy, "price_certificate", None)
+    return certify() if callable(certify) else None
+
+
+def assemble_result(ledger: CapacityLedger, policy: AdmissionPolicy, *,
+                    events: int, arrivals: int, departures: int, ticks: int,
+                    latencies: list, elapsed: float, trace_meta: dict,
+                    certificate: dict | None,
+                    baseline: dict | None = None,
+                    final_solution=None) -> "ReplayResult":
+    """Build the metrics/logs/stats record both replay loops share.
+
+    ``baseline`` holds counter and log offsets captured before the loop
+    ran (``accepted`` / ``evicted`` log lengths, ``realized`` /
+    ``forfeited`` / ``penalty`` counters) — the sharded
+    :class:`~repro.sharding.ledger.BoundaryBroker` reports *deltas*
+    over absorbed state; ``None`` means a fresh ledger.
+    """
+    base = baseline or {}
+    base_accepted = base.get("accepted", 0)
+    base_evicted = base.get("evicted", 0)
+    realized = ledger.realized_profit - base.get("realized", 0.0)
+    penalty = ledger.penalty_paid - base.get("penalty", 0.0)
+    accepted = len(ledger.admission_log) - base_accepted
     pct = latency_percentiles(latencies)
     metrics = ReplayMetrics(
         policy=policy.name,
-        events=len(trace.events),
+        events=events,
         arrivals=arrivals,
         departures=departures,
         ticks=ticks,
         accepted=accepted,
         rejected=arrivals - accepted,
         acceptance_ratio=accepted / arrivals if arrivals else 0.0,
-        realized_profit=ledger.realized_profit,
-        evictions=ledger.num_evicted,
-        forfeited_profit=ledger.forfeited_profit,
-        penalty_paid=ledger.penalty_paid,
-        penalty_adjusted_profit=ledger.penalty_adjusted_profit,
+        realized_profit=realized,
+        evictions=len(ledger.eviction_log) - base_evicted,
+        forfeited_profit=ledger.forfeited_profit - base.get("forfeited", 0.0),
+        penalty_paid=penalty,
+        penalty_adjusted_profit=realized - penalty,
         elapsed_s=elapsed,
-        events_per_sec=len(trace.events) / elapsed if elapsed > 0 else 0.0,
+        events_per_sec=events / elapsed if elapsed > 0 else 0.0,
         latency_p50_us=pct["p50_us"],
         latency_p90_us=pct["p90_us"],
         latency_p99_us=pct["p99_us"],
         latency_mean_us=pct["mean_us"],
+        dual_upper_bound=(certificate["upper_bound"]
+                          if certificate else None),
     )
+    policy_stats = dict(policy.stats)
+    if certificate:
+        policy_stats["dual_certificate"] = certificate
     return ReplayResult(
         metrics=metrics,
-        admission_log=list(ledger.admission_log),
-        eviction_log=list(ledger.eviction_log),
+        admission_log=list(ledger.admission_log[base_accepted:]),
+        eviction_log=list(ledger.eviction_log[base_evicted:]),
+        final_solution=final_solution,
+        policy_stats=policy_stats,
+        trace_meta=dict(trace_meta),
+    )
+
+
+def replay(trace: EventTrace, policy: AdmissionPolicy, *,
+           verify: bool = True) -> ReplayResult:
+    """Stream ``trace`` through ``policy`` and measure the outcome.
+
+    Parameters
+    ----------
+    trace:
+        The event stream plus its frozen demand population.
+    policy:
+        An unbound :class:`~repro.online.policies.AdmissionPolicy`; it
+        is bound to a fresh :class:`~repro.online.state.CapacityLedger`
+        here, so one policy object can be reused across replays.
+    verify:
+        Re-check the final admitted set against the problem definition
+        (cheap; disable only in throughput benchmarks).
+    """
+    ledger = CapacityLedger(trace.problem)
+    policy.bind(ledger)
+    arrivals, departures, ticks, latencies, elapsed = stream_events(
+        ledger, trace.events, policy
+    )
+
+    if verify:
+        ledger.verify()
+    return assemble_result(
+        ledger, policy,
+        events=len(trace.events), arrivals=arrivals,
+        departures=departures, ticks=ticks,
+        latencies=latencies, elapsed=elapsed,
+        trace_meta=trace.meta,
+        certificate=certificate_of(policy),
         final_solution=ledger.snapshot(),
-        policy_stats=dict(policy.stats),
-        trace_meta=dict(trace.meta),
     )

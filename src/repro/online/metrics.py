@@ -65,6 +65,12 @@ class ReplayMetrics:
     #: ``realized_profit - penalty_paid`` — the apples-to-apples number
     #: for comparing preemptive and non-preemptive policies.
     penalty_adjusted_profit: float = 0.0
+    #: LP-dual upper bound on the frozen-instance optimum, certified by
+    #: the dual-gated price trajectory (``None`` for policies that carry
+    #: no prices).  Mirrors the offline ``opt_upper_bound`` certificate:
+    #: always ``>= offline_profit`` by weak duality, and computed from
+    #: the replay itself — no offline solve needed.
+    dual_upper_bound: float | None = None
     #: Profit of the frozen-instance benchmark (``None`` when not computed).
     offline_profit: float | None = None
     #: ``adjusted / offline`` — the fraction of the benchmark captured

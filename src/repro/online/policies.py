@@ -13,12 +13,15 @@ Five built-in policies, selectable by name through :func:`make_policy`
   state: they are evaluated from the ledger's live loads, so departures
   automatically deflate them.
 * ``batch-resolve`` — buffer arrivals and periodically hand the buffer
-  to any registry solver on a subproblem over the buffered demands, then
-  admit whatever of the solver's selection still fits.  Nothing already
-  admitted is ever preempted.  On a departure-free trace, the ``exact``
-  solver with a single final flush reproduces the offline optimum
-  (with departures, buffered demands that leave before the flush are
-  dropped, so the flush optimizes only the survivors).
+  to any registry solver on a subproblem over the buffered demands.  By
+  default the subproblem is *residual-capacity aware*: the admitted
+  load rides along as dominating blocker demands, so the solver
+  optimizes against what is actually still free (``residual=False``
+  restores the legacy post-filtering).  Nothing already admitted is
+  ever preempted.  On a departure-free trace, the ``exact`` solver with
+  a single final flush reproduces the offline optimum (with departures,
+  buffered demands that leave before the flush are dropped, so the
+  flush optimizes only the survivors).
 * ``preempt-density`` — first-fit like greedy-threshold, but a blocked
   arrival may *evict* the cheapest-density holders along the contested
   route when its profit exceeds theirs by a configurable factor (the
@@ -39,7 +42,8 @@ import math
 
 import numpy as np
 
-from ..core.instance import LineProblem, TreeProblem
+from ..core.demand import Demand, WindowDemand
+from ..core.instance import TreeProblem, subproblem_of
 from .state import CapacityLedger
 
 __all__ = [
@@ -149,6 +153,12 @@ class DualGated(AdmissionPolicy):
         self.mu = (float(self._mu_override) if self._mu_override is not None
                    else max(2.0, L * pmax / max(pmin, 1e-12)))
         self._scale = pmin / L
+        # Peak per-edge loads over the price trajectory, seeded from the
+        # loads at bind time (nonzero when the sharded coordinator
+        # pre-admitted state before handing the ledger over).  Loads only
+        # set new peaks immediately after an admission, so noting peaks
+        # there captures the whole trajectory.
+        self._peak = ledger.active._load.copy()
         self.stats = {"gated": 0, "capacity_blocked": 0, "max_gate": 0.0}
 
     def _price_from_loads(self, iid: int, loads: np.ndarray) -> float:
@@ -189,7 +199,52 @@ class DualGated(AdmissionPolicy):
             self.stats["gated"] += 1
             return None
         ledger.admit(best)
+        self._note_peak(best)
         return best
+
+    def _note_peak(self, iid: int) -> None:
+        """Fold the post-admission loads of ``iid``'s route into the peaks."""
+        eids = self.ledger._edge_ids(iid)
+        load = self.ledger.active._load
+        self._peak[eids] = np.maximum(self._peak[eids], load[eids])
+
+    def price_certificate(self) -> dict:
+        """LP-dual upper bound certified by the price trajectory.
+
+        Setting edge duals ``β(e)`` to the exponential price at the
+        trajectory's *peak* load and demand duals
+        ``z(a) = max_i (p_i − h_i · Σ_{e∈i} β(e))⁺`` over ``a``'s
+        instances satisfies every dual constraint by construction, so by
+        weak duality ``Σ_e β(e) + Σ_a z(a)`` upper-bounds the offline
+        LP optimum of the trace's frozen problem — the online analogue
+        of the offline ``opt_upper_bound`` certificate, derived from the
+        replay itself at no extra solver cost.  (Validity holds for any
+        ``β ≥ 0``; the peaks only make the bound tight where the gate
+        actually ramped.)
+        """
+        ledger = self.ledger
+        idx = ledger.index
+        beta = self._scale * (np.power(self.mu, self._peak) - 1.0)
+        if len(ledger.instances):
+            route = (np.add.reduceat(beta[idx._flat_edges], idx._indptr[:-1])
+                     if len(idx._flat_edges) else
+                     np.zeros(len(ledger.instances)))
+            profits = np.asarray([d.profit for d in ledger.instances])
+            slack = profits - idx._heights * route
+            z = np.zeros(len(idx._demand_index))
+            np.maximum.at(z, idx._dix, slack)
+            z_total = float(z.sum())
+        else:
+            z_total = 0.0
+        beta_total = float(beta.sum())
+        return {
+            "upper_bound": beta_total + z_total,
+            "beta_total": beta_total,
+            "z_total": z_total,
+            "peak_load": float(self._peak.max()) if len(self._peak) else 0.0,
+            "mu": float(self.mu),
+            "priced_edges": int(np.count_nonzero(self._peak)),
+        }
 
 
 class BatchResolve(AdmissionPolicy):
@@ -198,10 +253,21 @@ class BatchResolve(AdmissionPolicy):
     Every ``resolve_every`` buffered arrivals (and on every tick, and
     once at the end of the trace) the buffer becomes a subproblem over
     the same networks/access sets, any registry solver optimizes it, and
-    the selected instances are admitted greedily in profit order —
-    skipping whatever no longer fits next to the already-admitted set.
+    the selected instances are admitted greedily in profit order.
     Admitted demands are never preempted; buffered demands that depart
     before a flush are dropped (they left unserved).
+
+    In **residual** mode (the default) the subproblem carries the
+    admitted load: one pinned *blocker* demand per currently-admitted
+    instance — same route, same height, priced to dominate every real
+    candidate — so the solver optimizes the buffer against the residual
+    capacity the admitted set leaves behind instead of re-filling
+    occupied edges and losing the collisions to a post-filter.  Blockers
+    are stripped from the selection before admission; the feasibility
+    check at admission time stays as a safety net (``displaced`` counts
+    the rare survivors an approximate solver lets through by dropping a
+    blocker).  ``residual=False`` restores the legacy post-filtering
+    behaviour.
 
     Parameters
     ----------
@@ -212,17 +278,22 @@ class BatchResolve(AdmissionPolicy):
         defers everything to ticks and the final flush.
     solver_params:
         Extra keyword arguments for the solver (epsilon, seed, ...).
+    residual:
+        Carry admitted load into the re-solve via blocker demands
+        (default) instead of post-filtering collisions.
     """
 
     name = "batch-resolve"
 
     def __init__(self, solver: str = "auto", resolve_every: int = 256,
-                 solver_params: dict | None = None):
+                 solver_params: dict | None = None,
+                 residual: bool = True):
         if resolve_every < 0:
             raise ValueError("resolve_every must be >= 0")
         self.solver = solver
         self.resolve_every = int(resolve_every)
         self.solver_params = dict(solver_params or {})
+        self.residual = bool(residual)
 
     def bind(self, ledger: CapacityLedger) -> None:
         super().bind(ledger)
@@ -230,7 +301,8 @@ class BatchResolve(AdmissionPolicy):
         # Companion membership set: departures must not scan the buffer
         # (it can hold every live arrival in final-flush-only mode).
         self._buffered: set[int] = set()
-        self.stats = {"flushes": 0, "buffered": 0, "displaced": 0}
+        self.stats = {"flushes": 0, "buffered": 0, "displaced": 0,
+                      "blockers": 0}
         problem = ledger.problem
         self._lookup: dict[tuple, int] = {}
         for inst in ledger.instances:
@@ -259,21 +331,56 @@ class BatchResolve(AdmissionPolicy):
 
     # ------------------------------------------------------------------
 
-    def _subproblem(self, demand_ids: list[int]):
-        """The buffered demands as a standalone problem (ids densified)."""
-        from dataclasses import replace
+    def _subproblem(self, demand_ids: list[int]) -> tuple:
+        """The buffered demands as a standalone problem (ids densified).
 
+        Returns ``(problem, n_real)``: demands ``0 .. n_real-1`` are the
+        buffered candidates (aligned with ``demand_ids``); anything
+        beyond is a residual-capacity blocker pinned to one admitted
+        instance's exact route.  A blocker's profit is
+        ``(Σ real profits + 1) × route length``, so its profit *density*
+        strictly dominates every real candidate — density-greedy picks
+        blockers first and the exact solver always prefers them, either
+        way reproducing the admitted load before any real demand is
+        placed.
+        """
         p = self.ledger.problem
-        demands = [
-            replace(p.demands[d], demand_id=i)
-            for i, d in enumerate(demand_ids)
-        ]
-        access = [p.access[d] for d in demand_ids]
-        if isinstance(p, TreeProblem):
-            return TreeProblem(n=p.n, networks=p.networks, demands=demands,
-                               access=access)
-        return LineProblem(n_slots=p.n_slots, resources=p.resources,
-                           demands=demands, access=access)
+        n_real = len(demand_ids)
+        blockers: list = []
+        blocker_access: list = []
+        if self.residual:
+            ledger = self.ledger
+            index = ledger.index
+            # Only admitted load that can actually constrain the buffer
+            # matters: a blocker sharing no edge with any candidate
+            # placement of any buffered demand cannot change the solve,
+            # so pruning it is exact (and keeps flush cost proportional
+            # to the *contested* load, not the whole admitted set).
+            relevant: set = set()
+            for d in demand_ids:
+                for cand in ledger.candidates(d).tolist():
+                    relevant |= index.edges_of(cand)
+            dominating = sum(p.demands[d].profit for d in demand_ids) + 1.0
+            tree = isinstance(p, TreeProblem)
+            for _, iid in ledger.admitted_items():
+                if relevant.isdisjoint(index.edges_of(iid)):
+                    continue
+                inst = ledger.instances[iid]
+                if tree:
+                    length = max(len(inst.path_edges), 1)
+                    blockers.append(Demand(
+                        demand_id=0, u=inst.u, v=inst.v,
+                        profit=dominating * length, height=inst.height,
+                    ))
+                else:
+                    length = inst.length
+                    blockers.append(WindowDemand(
+                        demand_id=0, release=inst.start,
+                        deadline=inst.end, proc_time=length,
+                        profit=dominating * length, height=inst.height,
+                    ))
+                blocker_access.append({inst.network_id})
+        return subproblem_of(p, demand_ids, blockers, blocker_access), n_real
 
     def _flush(self) -> None:
         from ..algorithms import registry
@@ -286,11 +393,14 @@ class BatchResolve(AdmissionPolicy):
         if not demand_ids:
             return
         self.stats["flushes"] += 1
-        sub = self._subproblem(demand_ids)
+        sub, n_real = self._subproblem(demand_ids)
+        self.stats["blockers"] += sub.num_demands - n_real
         solution = registry.solve(self.solver, sub, **self.solver_params)
         chosen = sorted(solution.selected, key=lambda d: (-d.profit, d.demand_id))
         ledger = self.ledger
         for inst in chosen:
+            if inst.demand_id >= n_real:
+                continue  # a blocker: admitted load, not a candidate
             orig = demand_ids[inst.demand_id]
             if isinstance(ledger.problem, TreeProblem):
                 key = (orig, inst.network_id)
@@ -480,7 +590,9 @@ class PreemptDualGated(DualGated, _PreemptiveAdmission):
             self.stats["capacity_blocked"] += 1
             self.stats["preempt_rejected"] += 1
             return None
-        return self._execute_preemption(*best)
+        iid = self._execute_preemption(*best)
+        self._note_peak(iid)
+        return iid
 
 
 _POLICY_CLASSES = {

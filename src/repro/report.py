@@ -22,6 +22,7 @@ __all__ = [
     "render_comparison",
     "render_sweep",
     "render_replay",
+    "render_sharded_replay",
 ]
 
 
@@ -135,11 +136,16 @@ def render_sweep(results: Sequence) -> str:
         (r.stats or {}).get("evictions") or (r.stats or {}).get("penalty_paid")
         for r in results
     )
+    with_dual_ub = any(
+        (r.stats or {}).get("dual_upper_bound") is not None for r in results
+    )
     headers = ["problem", "solver", "seed", "profit", "size", "rounds",
                "λ", "time", "status"]
     extra = []
     if with_evictions:
         extra += ["evict", "adj profit"]
+    if with_dual_ub:
+        extra += ["OPT≤(dual)"]
     if with_offline:
         extra += ["ALG/OPT", "c-ratio"]
     headers = headers[:5] + extra + headers[5:]
@@ -161,6 +167,9 @@ def render_sweep(results: Sequence) -> str:
             adj = stats.get("penalty_adjusted_profit", r.profit)
             row.append(str(stats.get("evictions", 0)))
             row.append(f"{adj:.2f}")
+        if with_dual_ub:
+            ub = stats.get("dual_upper_bound")
+            row.append("-" if ub is None else f"{ub:.2f}")
         if with_offline:
             vs = stats.get("profit_vs_offline")
             cr = stats.get("competitive_ratio")
@@ -193,10 +202,13 @@ def render_replay(metrics: Sequence) -> str:
     with_evictions = any(
         d.get("evictions") or d.get("penalty_paid") for d in docs
     )
+    with_dual_ub = any(d.get("dual_upper_bound") is not None for d in docs)
     headers = ["policy", "events", "arrivals", "accepted", "acc%",
                "profit"]
     if with_evictions:
         headers += ["evict", "forfeit", "adj profit"]
+    if with_dual_ub:
+        headers += ["OPT≤(dual)"]
     if with_offline:
         headers += ["offline OPT", "ALG/OPT", "c-ratio"]
     headers += ["p50 µs", "p99 µs", "events/s"]
@@ -216,6 +228,9 @@ def render_replay(metrics: Sequence) -> str:
             row.append(str(d.get("evictions", 0)))
             row.append(f"{d.get('forfeited_profit', 0.0):.2f}")
             row.append(f"{adj:.2f}")
+        if with_dual_ub:
+            ub = d.get("dual_upper_bound")
+            row.append("-" if ub is None else f"{ub:.2f}")
         if with_offline:
             opt = d.get("offline_profit")
             vs = d.get("profit_vs_offline")
@@ -230,6 +245,47 @@ def render_replay(metrics: Sequence) -> str:
         ]
         rows.append(row)
     return _table(headers, rows)
+
+
+def render_sharded_replay(result, merged=None) -> str:
+    """Plan summary plus the per-shard / boundary / merged replay table.
+
+    ``result`` is a :class:`~repro.sharding.driver.ShardedReplayResult`;
+    ``merged`` optionally overrides the merged metrics row (e.g. after
+    :func:`~repro.online.metrics.with_offline` filled in the benchmark
+    columns).  Rows are labelled ``shard-N`` / ``boundary`` / ``merged``
+    in the policy column; the merged row's throughput is single-host
+    wall clock, with the deployment (critical-path) rate appended below.
+    """
+    plan = result.plan
+    lines = [
+        f"{plan['by']} plan: {plan['shards']} shards, local demands "
+        f"{plan['local_demands']}, boundary {plan['boundary_demands']} "
+        f"demands ({100.0 * plan['boundary_fraction']:.1f}%, "
+        f"profit {plan['boundary_profit']:.2f} — first-order divergence "
+        f"scale vs the single-ledger replay)"
+    ]
+    docs: list[dict] = []
+    for s, shard in enumerate(result.shard_results):
+        doc = shard.metrics.to_dict()
+        doc["policy"] = f"shard-{s}"
+        docs.append(doc)
+    if result.boundary_result is not None:
+        doc = result.boundary_result.metrics.to_dict()
+        doc["policy"] = "boundary"
+        docs.append(doc)
+    merged_doc = (merged if merged is not None else result.merged)
+    merged_doc = (merged_doc if isinstance(merged_doc, dict)
+                  else merged_doc.to_dict())
+    merged_doc = dict(merged_doc, policy="merged")
+    docs.append(merged_doc)
+    lines.append(render_replay(docs))
+    lines.append(
+        f"critical path: {result.critical_path_s * 1e3:.1f} ms "
+        f"({result.critical_path_events_per_sec:.0f} events/s across "
+        f"{plan['shards']} workers)"
+    )
+    return "\n".join(lines)
 
 
 def render_comparison(entries: Sequence[tuple[str, Solution]],

@@ -1,0 +1,32 @@
+"""Sharded admission engine: fan one trace across decomposition cut lines.
+
+Layering (bottom-up):
+
+* :mod:`~repro.sharding.planner` — :class:`ShardPlanner` /
+  :class:`ShardPlan`: partition a problem's edges along Section-4
+  decomposition cut lines (balancer subtrees or depth layers; timeline
+  blocks on lines), classify demands as shard-local or cut-crossing,
+  and materialize per-shard sub-problems and sub-traces;
+* :mod:`~repro.sharding.ledger` — :class:`ShardedLedger` (one
+  :class:`~repro.online.state.CapacityLedger` per shard plus the exact
+  global coordinator view) and :class:`BoundaryBroker` (the only code
+  path that serializes cut-crossing demands);
+* :mod:`~repro.sharding.driver` — :class:`ShardedDriver`: phase-A
+  process-pool replay of the local sub-traces through unmodified
+  policies, phase-B serialized boundary replay, merged + verified
+  metrics.
+"""
+
+from .driver import ShardedDriver, ShardedReplayResult
+from .ledger import BoundaryBroker, ShardedLedger
+from .planner import SHARD_STRATEGIES, ShardPlan, ShardPlanner
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "BoundaryBroker",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedDriver",
+    "ShardedLedger",
+    "ShardedReplayResult",
+]

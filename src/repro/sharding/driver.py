@@ -1,0 +1,278 @@
+"""Two-phase sharded replay: parallel shard workers + serialized broker.
+
+:class:`ShardedDriver` replays one event trace across ``N`` shards:
+
+* **Phase A** — every shard's local sub-trace (cut-interior demands
+  only, plus ticks) is replayed through an unmodified
+  :func:`~repro.online.driver.replay` with a fresh policy instance, one
+  worker per shard, fanned out over a :mod:`multiprocessing` pool (the
+  same executor pattern as :class:`~repro.runners.replay.ReplayRunner`;
+  ``processes <= 1`` runs the workers inline).  Shard edge sets are
+  disjoint, so the workers never contend.
+* **Phase B** — the :class:`~repro.sharding.ledger.BoundaryBroker`
+  absorbs the shard finals into the coordinator ledger and serializes
+  the cut-crossing demands through one more unmodified policy instance
+  bound to the exact global view.  The coordinator then re-verifies the
+  merged admitted set from first principles.
+
+With ``shards=1`` every demand is local, the single sub-trace is the
+original trace, and phase B is empty — the run is event-for-event
+identical to the single-ledger driver (same admissions, evictions,
+profits and final solution; only wall-clock timing differs).
+
+Throughput is reported two ways: ``wall`` (this host, phases run as
+scheduled) and ``critical path`` (slowest shard replay plus the
+serialized absorb hand-off and boundary phase) — the latter is the
+rate an ``N``-worker deployment sustains and is what the
+throughput-vs-shards benchmark tracks; on a single-core host the two
+differ, on an ``N``-core host they converge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.solution import Solution
+from ..io import trace_from_dict, trace_to_dict
+from ..online.driver import ReplayResult, replay
+from ..online.events import EventTrace
+from ..online.metrics import ReplayMetrics
+from ..online.policies import make_policy
+from .ledger import BoundaryBroker, ShardedLedger
+from .planner import ShardPlan, ShardPlanner
+
+__all__ = ["ShardedDriver", "ShardedReplayResult"]
+
+
+def _replay_shard(payload: dict) -> ReplayResult:
+    """Worker body: replay one shard's sub-trace from its serialized form."""
+    trace = trace_from_dict(payload["document"])
+    policy = make_policy(payload["policy"], **payload["params"])
+    return replay(trace, policy, verify=payload["verify"])
+
+
+@dataclass
+class ShardedReplayResult:
+    """Everything one sharded replay produced.
+
+    Attributes
+    ----------
+    plan:
+        The :class:`~repro.sharding.planner.ShardPlan` summary dict —
+        per-shard demand counts and the boundary-demand population (the
+        first-order divergence scale vs the unsharded replay).
+    shard_results:
+        One :class:`~repro.online.driver.ReplayResult` per shard, over
+        local demand ids (``trace_meta["shard"]`` names the shard).
+    boundary_result:
+        The broker's serialized boundary replay (counter deltas; global
+        demand ids), or ``None`` when no demand crossed a cut.
+    merged:
+        The merged :class:`~repro.online.metrics.ReplayMetrics` — whole
+        trace event counts, summed acceptance/profit/eviction counters,
+        wall-clock throughput, and the conservative (max) latency tail
+        across shards.
+    merged_solution:
+        The coordinator's final admitted set (verified feasible).
+    policy_stats:
+        ``{"shards": [...], "boundary": {...}, "absorbed": {...}}`` —
+        per-policy counters plus the broker's absorb hand-off tally.
+    wall_s / critical_path_s:
+        Replay wall-clock on this host vs. the slowest-shard + absorb +
+        boundary-phase sum an ``N``-worker deployment would see.
+    """
+
+    plan: dict
+    shard_results: list[ReplayResult]
+    boundary_result: ReplayResult | None
+    merged: ReplayMetrics
+    merged_solution: Solution | None
+    policy_stats: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    critical_path_s: float = 0.0
+
+    @property
+    def critical_path_events_per_sec(self) -> float:
+        """Deployment throughput: total events / critical-path seconds."""
+        if self.critical_path_s <= 0:
+            return 0.0
+        return self.merged.events / self.critical_path_s
+
+
+class ShardedDriver:
+    """Replay traces across shard workers and merge the outcome.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (>= 1).
+    shard_by:
+        Partition strategy, ``"subtree"`` or ``"layer"`` (see
+        :class:`~repro.sharding.planner.ShardPlanner`).
+    processes:
+        Phase-A pool size.  ``None`` uses ``min(shards, cpu_count)``;
+        ``0`` or ``1`` replays the shards inline (deterministic, no
+        fork — identical decisions either way).
+    """
+
+    def __init__(self, shards: int, shard_by: str = "subtree",
+                 processes: int | None = None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.planner = ShardPlanner(shard_by)
+        self.processes = processes
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: EventTrace, policy: str,
+            params: dict | None = None, *,
+            verify: bool = True) -> ShardedReplayResult:
+        """Replay ``trace`` through ``policy`` across the shards.
+
+        ``policy`` is a registry name (one fresh instance is built per
+        shard worker plus one for the broker); ``params`` are its
+        constructor keywords — validated up front so misconfigurations
+        fail before any replay work starts.
+        """
+        params = dict(params or {})
+        boundary_policy = make_policy(policy, **params)  # validates early
+        plan = self.planner.plan(trace.problem, self.shards)
+        subtraces = [plan.subtrace(s, trace) for s in range(plan.n_shards)]
+
+        t0 = time.perf_counter()
+        shard_results = self._fan_out(subtraces, policy, params, verify)
+
+        sharded = ShardedLedger(trace.problem, plan)
+        broker = BoundaryBroker(sharded)
+        # The absorb hand-off is serialized in any deployment (one
+        # coordinator), so it belongs to the critical path alongside the
+        # boundary phase.
+        t_absorb = time.perf_counter()
+        for s, result in enumerate(shard_results):
+            broker.absorb(s, result)
+        absorb_s = time.perf_counter() - t_absorb
+        boundary_result = broker.replay_boundary(
+            trace, boundary_policy, verify=verify
+        )
+        wall = time.perf_counter() - t0
+
+        merged = self._merge(trace, shard_results, boundary_result,
+                             wall, broker_certificate=broker.certificate)
+        critical = (max(r.metrics.elapsed_s for r in shard_results)
+                    + absorb_s
+                    + (boundary_result.metrics.elapsed_s
+                       if boundary_result else 0.0))
+        stats = {
+            "shards": [dict(r.policy_stats) for r in shard_results],
+            "boundary": (dict(boundary_result.policy_stats)
+                         if boundary_result else {}),
+            "absorbed": {"count": broker.absorbed_count,
+                         "profit": broker.absorbed_profit},
+        }
+        return ShardedReplayResult(
+            plan=plan.summary(),
+            shard_results=shard_results,
+            boundary_result=boundary_result,
+            merged=merged,
+            merged_solution=sharded.snapshot(),
+            policy_stats=stats,
+            wall_s=wall,
+            critical_path_s=critical,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fan_out(self, subtraces, policy: str, params: dict,
+                 verify: bool) -> list[ReplayResult]:
+        """Phase A: one replay per shard, pooled or inline.
+
+        Sub-traces cross the pool boundary as JSON documents (the
+        :class:`~repro.runners.replay.ReplayRunner` pattern); inline
+        execution skips the round trip entirely — the serialization is
+        bit-exact, so the decisions are identical either way
+        (property-tested).
+        """
+        nproc = self.processes
+        if nproc is None:
+            import os
+
+            nproc = min(len(subtraces), os.cpu_count() or 1)
+        nproc = min(nproc, len(subtraces))
+        if nproc > 1:
+            import multiprocessing as mp
+
+            payloads = [
+                {"document": trace_to_dict(st), "policy": policy,
+                 "params": params, "verify": verify}
+                for st in subtraces
+            ]
+            with mp.Pool(nproc) as pool:
+                return pool.map(_replay_shard, payloads)
+        return [replay(st, make_policy(policy, **params), verify=verify)
+                for st in subtraces]
+
+    @staticmethod
+    def _merge(trace: EventTrace,
+               shard_results: list[ReplayResult],
+               boundary_result: ReplayResult | None,
+               wall: float,
+               broker_certificate: dict | None = None) -> ReplayMetrics:
+        """Merged metrics: trace-level counts + summed outcome counters.
+
+        Boundary metrics are already deltas over the absorbed baseline,
+        so a plain sum never double counts; latency percentiles cannot
+        be merged exactly without raw samples, so the merged tail is the
+        conservative maximum across shard and boundary rows.
+        """
+        rows = [r.metrics for r in shard_results]
+        if boundary_result is not None:
+            rows.append(boundary_result.metrics)
+        arrivals = trace.num_arrivals
+        accepted = sum(m.accepted for m in rows)
+        realized = sum(m.realized_profit for m in rows)
+        penalty = sum(m.penalty_paid for m in rows)
+        if boundary_result is not None:
+            # The broker's certificate is computed on the coordinator
+            # over the full population — a valid global upper bound.
+            cert = boundary_result.metrics.dual_upper_bound
+        elif len(shard_results) == 1:
+            # One shard, nothing crossing: the run *is* the unsharded
+            # replay, certificate included (event-for-event identity).
+            cert = shard_results[0].metrics.dual_upper_bound
+        else:
+            # No demand crosses a cut: the LP separates across shards,
+            # so the per-shard certificates sum to a global bound; the
+            # broker still priced the coordinator over the absorbed
+            # state, which is an independent valid bound — report the
+            # tighter of the two.
+            shard_certs = [r.metrics.dual_upper_bound for r in shard_results]
+            candidates = []
+            if all(c is not None for c in shard_certs):
+                candidates.append(sum(shard_certs))
+            if broker_certificate is not None:
+                candidates.append(broker_certificate["upper_bound"])
+            cert = min(candidates) if candidates else None
+        return ReplayMetrics(
+            policy=rows[0].policy,
+            events=len(trace.events),
+            arrivals=arrivals,
+            departures=trace.num_departures,
+            ticks=len(trace.events) - arrivals - trace.num_departures,
+            accepted=accepted,
+            rejected=arrivals - accepted,
+            acceptance_ratio=accepted / arrivals if arrivals else 0.0,
+            realized_profit=realized,
+            evictions=sum(m.evictions for m in rows),
+            forfeited_profit=sum(m.forfeited_profit for m in rows),
+            penalty_paid=penalty,
+            penalty_adjusted_profit=realized - penalty,
+            elapsed_s=wall,
+            events_per_sec=len(trace.events) / wall if wall > 0 else 0.0,
+            latency_p50_us=max(m.latency_p50_us for m in rows),
+            latency_p90_us=max(m.latency_p90_us for m in rows),
+            latency_p99_us=max(m.latency_p99_us for m in rows),
+            latency_mean_us=max(m.latency_mean_us for m in rows),
+            dual_upper_bound=cert,
+        )

@@ -1,0 +1,256 @@
+"""Per-shard capacity ledgers, the global coordinator view, and the broker.
+
+:class:`ShardedLedger` is the state layer of the sharded admission
+engine.  It runs one :class:`~repro.online.state.CapacityLedger` per
+shard over that shard's local sub-population, plus a **coordinator**
+ledger over the full population that is the single source of truth for
+global feasibility, merged profit counters, and the final merged
+solution.  Demands are routed by the :class:`~repro.sharding.planner.
+ShardPlan`:
+
+* a *local* demand is decided against its shard's ledger (concurrently
+  safe — shard edge sets are disjoint) and mirrored into the
+  coordinator; if the coordinator refuses (a boundary demand already
+  holds one of the route's edges) the tentative shard admission is
+  withdrawn — a two-phase commit;
+* a *boundary* demand (route crossing a cut) is serialized through the
+  :class:`BoundaryBroker`, which decides it directly on the coordinator
+  so every edge of the route is priced against the exact global load.
+
+Invariant: for every edge the coordinator's load equals the true total
+load, so the union of everything admitted is always feasible — the
+coordinator's ``verify()`` re-checks it from first principles.
+
+The :class:`~repro.sharding.driver.ShardedDriver` uses the same classes
+in its two-phase replay: shard workers replay their local sub-traces
+through stock :func:`~repro.online.driver.replay` (phase A), then the
+broker *absorbs* their final admitted sets into the coordinator and
+serializes the boundary stream through an unmodified policy bound to the
+coordinator (phase B).
+"""
+
+from __future__ import annotations
+
+from ..core.instance import TreeProblem
+from ..online.driver import (
+    ReplayResult,
+    assemble_result,
+    certificate_of,
+    stream_events,
+)
+from ..online.events import EventTrace
+from ..online.policies import AdmissionPolicy
+from ..online.state import CapacityLedger
+from .planner import ShardPlan
+
+__all__ = ["ShardedLedger", "BoundaryBroker"]
+
+
+class ShardedLedger:
+    """One :class:`CapacityLedger` per shard plus the coordinator view.
+
+    Parameters
+    ----------
+    problem:
+        The full (unsharded) problem.
+    plan:
+        The :class:`~repro.sharding.planner.ShardPlan` that routes
+        demands.
+
+    Notes
+    -----
+    Shard ledgers are built lazily: the driver's phase-B merge only
+    needs the coordinator (its workers built their own ledgers inside
+    :func:`~repro.online.driver.replay`), while direct API users get a
+    shard ledger on first touch.
+    """
+
+    def __init__(self, problem, plan: ShardPlan):
+        self.problem = problem
+        self.plan = plan
+        #: The exact global capacity view (full instance population).
+        self.coordinator = CapacityLedger(problem)
+        self._shard_ledgers: list[CapacityLedger | None] = (
+            [None] * plan.n_shards
+        )
+        self._local_ids: list[dict[int, int] | None] = [None] * plan.n_shards
+
+    # -- routing --------------------------------------------------------
+
+    def shards_of(self, demand_id: int) -> tuple[int, ...]:
+        """The shards the demand's routes touch (see the plan)."""
+        return self.plan.shards_of(demand_id)
+
+    def is_boundary(self, demand_id: int) -> bool:
+        """Whether the demand crosses a cut (broker territory)."""
+        return self.plan.is_boundary(demand_id)
+
+    def shard_ledger(self, s: int) -> CapacityLedger:
+        """Shard ``s``'s ledger over its local sub-population (lazy)."""
+        if self._shard_ledgers[s] is None:
+            self._shard_ledgers[s] = CapacityLedger(self.plan.subproblem(s))
+            self._local_ids[s] = {
+                d: i for i, d in enumerate(self.plan.shard_demands[s])
+            }
+        return self._shard_ledgers[s]
+
+    def _local_id(self, s: int, demand_id: int) -> int:
+        self.shard_ledger(s)  # ensure the map exists
+        return self._local_ids[s][demand_id]
+
+    # -- mutations ------------------------------------------------------
+
+    def try_admit(self, demand_id: int, min_density: float = 0.0) -> int | None:
+        """First-fit admit a demand through its route's ledger(s).
+
+        Local demands are decided on their shard's ledger and mirrored
+        into the coordinator; when the coordinator refuses (a boundary
+        holder occupies the route) the shard admission is withdrawn and
+        the demand is rejected — the conservative two-phase commit.
+        Boundary demands are decided directly on the coordinator.
+        Returns the **global** admitted instance id, or ``None``.
+        """
+        if self.is_boundary(demand_id):
+            return self.coordinator.try_admit(demand_id,
+                                              min_density=min_density)
+        s = self.plan.shard_of(demand_id)
+        led = self.shard_ledger(s)
+        local = self._local_id(s, demand_id)
+        liid = led.try_admit(local, min_density=min_density)
+        if liid is None:
+            return None
+        gid = self.plan.global_instance_of(s, liid)
+        if not self.coordinator.feasible([gid])[0]:
+            led.withdraw(local)
+            return None
+        self.coordinator.admit(gid)
+        return gid
+
+    def release(self, demand_id: int) -> None:
+        """Release a departed demand from every view that admitted it."""
+        if self.coordinator.is_admitted(demand_id):
+            self.coordinator.release(demand_id)
+        if not self.is_boundary(demand_id):
+            s = self.plan.shard_of(demand_id)
+            led = self.shard_ledger(s)
+            local = self._local_id(s, demand_id)
+            if led.is_admitted(local):
+                led.release(local)
+
+    # -- merged accounting ---------------------------------------------
+
+    @property
+    def realized_profit(self) -> float:
+        """Merged realized profit (the coordinator's exact counters)."""
+        return self.coordinator.realized_profit
+
+    @property
+    def num_admitted(self) -> int:
+        """Demands currently holding capacity anywhere."""
+        return self.coordinator.num_admitted
+
+    def snapshot(self):
+        """The merged admitted set as a verified-renderable solution."""
+        return self.coordinator.snapshot()
+
+    def verify(self) -> None:
+        """Re-check the merged admitted set and every shard ledger."""
+        self.coordinator.verify()
+        for led in self._shard_ledgers:
+            if led is not None:
+                led.verify()
+
+
+class BoundaryBroker:
+    """Serializes the demands that cross a shard cut.
+
+    The broker owns the only code path that touches more than one
+    shard's capacity: it *absorbs* each shard's final admitted set into
+    the coordinator (phase A hand-off) and then replays the boundary
+    event stream — cut-crossing arrivals/departures plus ticks — through
+    an unmodified admission policy bound to the coordinator, so every
+    registered policy prices boundary routes against the exact global
+    load.  Boundary metrics are counter *deltas* over the absorbed
+    baseline, so absorbed locals are never double counted (a preemptive
+    policy that evicts an absorbed local during the boundary phase shows
+    up as a negative profit contribution here, exactly once).
+    """
+
+    def __init__(self, sharded: ShardedLedger):
+        self.sharded = sharded
+        self.absorbed_profit = 0.0
+        self.absorbed_count = 0
+        #: The boundary policy's price certificate, if it carries one.
+        self.certificate: dict | None = None
+
+    # -- phase A hand-off ----------------------------------------------
+
+    def absorb(self, s: int, result: ReplayResult) -> None:
+        """Pre-admit shard ``s``'s final admitted set into the coordinator.
+
+        The union over shards is feasible by construction (shard edge
+        sets are disjoint and each final set is verified per shard), so
+        every mirror admission succeeds.
+        """
+        plan = self.sharded.plan
+        coord = self.sharded.coordinator
+        tree = isinstance(self.sharded.problem, TreeProblem)
+        ids = plan.shard_demands[s]
+        lut = plan._lookup()
+        for inst in result.final_solution.selected:
+            g = ids[inst.demand_id]
+            key = ((g, inst.network_id) if tree
+                   else (g, inst.network_id, inst.start, inst.end))
+            coord.admit(lut[key])
+            self.absorbed_profit += float(inst.profit)
+            self.absorbed_count += 1
+
+    # -- phase B: the serialized boundary replay ------------------------
+
+    def replay_boundary(self, trace: EventTrace, policy: AdmissionPolicy,
+                        *, verify: bool = True) -> ReplayResult | None:
+        """Stream the cut-crossing demands through ``policy``.
+
+        Mirrors the stock replay loop (same event timing semantics, same
+        final ``finish()`` flush) on the coordinator ledger.  Returns a
+        :class:`~repro.online.driver.ReplayResult` whose metrics are the
+        boundary-phase deltas, or ``None`` when no demand crosses a cut
+        (the policy is still bound and flushed so price certificates
+        cover the absorbed state).
+        """
+        ledger = self.sharded.coordinator
+        events = self.sharded.plan.boundary_events(trace)
+        policy.bind(ledger)
+        base_accepted = len(ledger.admission_log)
+        base_evicted = len(ledger.eviction_log)
+        base_realized = ledger.realized_profit
+        base_forfeited = ledger.forfeited_profit
+        base_penalty = ledger.penalty_paid
+
+        arrivals, departures, ticks, latencies, elapsed = stream_events(
+            ledger, events, policy
+        )
+
+        if verify:
+            ledger.verify()
+        # The certificate is priced on the coordinator over the *full*
+        # population, so it upper-bounds the global offline optimum —
+        # computed even when no demand crossed a cut (the driver's merge
+        # still uses it then).
+        certificate = certificate_of(policy)
+        self.certificate = certificate
+        if not events:
+            return None
+
+        return assemble_result(
+            ledger, policy,
+            events=len(events), arrivals=arrivals,
+            departures=departures, ticks=ticks,
+            latencies=latencies, elapsed=elapsed,
+            trace_meta=trace.meta,
+            certificate=certificate,
+            baseline={"accepted": base_accepted, "evicted": base_evicted,
+                      "realized": base_realized,
+                      "forfeited": base_forfeited,
+                      "penalty": base_penalty},
+        )

@@ -238,3 +238,92 @@ class TestFriendlyArgumentErrors:
                      "--seeds", "0,1", "--processes", "1"]) == 0
         out = capsys.readouterr().out
         assert "greedy" in out
+
+
+class TestShardedReplay:
+    @pytest.fixture
+    def trace_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        rc = main(["replay", "--kind", "tree", "--events", "150",
+                   "--seed", "3", "--policy", "greedy-threshold",
+                   "--save-trace", str(path)])
+        assert rc == 0
+        return str(path)
+
+    def test_sharded_replay_prints_merged_table(self, trace_json, capsys,
+                                                tmp_path):
+        out_path = tmp_path / "sharded.json"
+        rc = main(["replay", trace_json, "--policy", "dual-gated",
+                   "--shards", "2", "--shard-by", "subtree",
+                   "--processes", "0", "-o", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "subtree plan" in out
+        assert "merged" in out and "shard-0" in out
+        doc = json.load(open(out_path))
+        assert doc["plan"]["shards"] == 2
+        assert len(doc["shards"]) == 2
+        assert doc["merged"]["accepted"] >= 0
+        assert doc["critical_path_events_per_sec"] > 0
+
+    def test_shards_one_uses_single_ledger_driver(self, trace_json,
+                                                  capsys):
+        rc = main(["replay", trace_json, "--policy", "greedy-threshold",
+                   "--shards", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan" not in out  # the unsharded table, unchanged
+
+    def test_bad_shards_value(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--shards", "0"])
+        assert "shards must be >= 1" in capsys.readouterr().err
+
+    def test_dual_ub_column_in_replay_table(self, trace_json, capsys):
+        rc = main(["replay", trace_json, "--policy", "dual-gated"])
+        assert rc == 0
+        assert "OPT≤(dual)" in capsys.readouterr().out
+
+
+class TestSweepPreemption:
+    @pytest.fixture
+    def trace_json(self, tmp_path):
+        path = tmp_path / "burst.json"
+        rc = main(["replay", "--kind", "line", "--events", "120",
+                   "--process", "bursty", "--seed", "3",
+                   "--policy", "greedy-threshold",
+                   "--save-trace", str(path)])
+        assert rc == 0
+        return str(path)
+
+    def test_grid_runs_and_summarizes(self, trace_json, capsys, tmp_path):
+        out_path = tmp_path / "grid.json"
+        rc = main(["sweep-preemption", trace_json,
+                   "--factors", "1.2", "--penalties", "0,0.25",
+                   "--processes", "0", "-o", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "preempt-density" in out
+        assert "factor 1.2" in out  # the break-even summary line
+        rows = json.load(open(out_path))
+        # One baseline + 1 factor × 2 penalties.
+        assert len(rows) == 3
+
+    def test_dual_gated_variant_ignores_factors(self, trace_json, capsys):
+        rc = main(["sweep-preemption", trace_json,
+                   "--policy", "preempt-dual-gated",
+                   "--factors", "1.5,2.0", "--penalties", "0.1",
+                   "--processes", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "preempt-dual-gated" in out
+
+    def test_bad_factors_friendly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep-preemption", "x.json", "--factors", "fast"])
+        assert "comma-separated numbers" in capsys.readouterr().err
+
+    def test_missing_corpus_friendly(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="no pinned corpus"):
+            main(["sweep-preemption", "--processes", "0"])
