@@ -14,8 +14,16 @@ throughput policy.  Verification of the final admitted set stays ON:
 feasibility checking is part of the work a production admission layer
 cannot skip.
 
-A second table tracks the **sharded admission engine**: one Poisson
-tree trace with localized demands is replayed through
+A second table tracks the **service layer**: the same trace is pushed
+through :class:`~repro.service.AdmissionService` one request/response
+round trip at a time — once without a journal and once journaling every
+event to a temp file — and compared against the in-process replay, so
+the dict-protocol and write-ahead-journal overheads are tracked
+explicitly.
+
+A third table tracks the **sharded admission engine**: one Poisson
+tree trace with a targeted boundary fraction (the shard-aware
+``boundary_fraction`` workload knob) is replayed through
 :class:`~repro.sharding.ShardedDriver` at 1/2/4 shards, recording the
 boundary (cut-crossing) fraction and throughput two ways — single-host
 wall clock, and the *critical path* (slowest shard replay plus the
@@ -82,6 +90,7 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
                 "latency_p99_us": m.latency_p99_us,
             }
         report["cases"][str(events)] = case
+    report["service"] = run_service_bench(smoke=smoke)
     report["sharding"] = run_sharding_bench(smoke=smoke)
     if out_path:
         with open(out_path, "w") as fh:
@@ -89,12 +98,67 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
     return report
 
 
-#: Sharding benchmark trace: localized demands on a larger random tree,
-#: so the balancer cut lines separate real work instead of slicing
-#: every route.
+def run_service_bench(smoke: bool = False) -> dict:
+    """Sustained request/response throughput vs in-process replay.
+
+    Every event crosses the service's dict protocol (``{"op":
+    "submit", ...}`` in, a decision document out); the journaled run
+    additionally write-ahead-logs each event to a temp file.  The
+    ``overhead`` ratios are (in-process rate) / (service rate) — how
+    much the request/response framing and the journal cost on top of
+    the raw kernel.
+    """
+    import os
+    import tempfile
+
+    from repro.io import event_to_dict
+    from repro.online import generate_trace, make_policy, replay
+    from repro.service import AdmissionService
+
+    events = 2_000 if smoke else 20_000
+    trace = generate_trace(
+        "line", events=events, process="poisson", seed=0,
+        departure_prob=0.35, workload={"n_slots": max(512, events // 8)},
+    )
+    base = replay(trace, make_policy("greedy-threshold"))
+    requests = [{"op": "submit", "event": event_to_dict(ev)}
+                for ev in trace.events]
+    out: dict = {
+        "events": len(trace.events),
+        "policy": "greedy-threshold",
+        "in_process_events_per_sec": base.metrics.events_per_sec,
+        "rows": [],
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for label, journal in (("service", None),
+                               ("service+journal",
+                                os.path.join(tmp, "bench.journal"))):
+            svc = AdmissionService(trace, "greedy-threshold",
+                                   journal_path=journal)
+            for req in requests:
+                resp = svc.handle(req)
+                assert resp["ok"], resp
+            result = svc.close()
+            rate = result.metrics.events_per_sec
+            out["rows"].append({
+                "mode": label,
+                "events_per_sec": rate,
+                "overhead": (base.metrics.events_per_sec / rate
+                             if rate > 0 else None),
+                "accepted": result.metrics.accepted,
+                "realized_profit": result.metrics.realized_profit,
+            })
+    return out
+
+
+#: Sharding benchmark trace: demands confined to the balancer-cut parts
+#: with a directly targeted boundary (cut-crossing) fraction — the
+#: shard-aware workload knob — so the scaling rows control the variable
+#: that actually prices the serialized boundary phase.
 SHARDING_TRACE = dict(kind="tree", process="poisson", seed=0,
                       departure_prob=0.3,
-                      workload={"n": 768, "locality": 0.03})
+                      workload={"n": 768, "boundary_fraction": 0.05,
+                                "parts": 4})
 
 
 def run_sharding_bench(smoke: bool = False) -> dict:
@@ -117,6 +181,8 @@ def run_sharding_bench(smoke: bool = False) -> dict:
         "trace": {"kind": kind, "events": len(trace.events), **{
             k: v for k, v in spec.items() if k != "workload"
         }, "workload": spec["workload"]},
+        "target_boundary_fraction":
+            spec["workload"].get("boundary_fraction"),
         "policy": "greedy-threshold",
         "unsharded_events_per_sec": base.metrics.events_per_sec,
         "note": ("events_per_sec is the critical-path rate: total events"
@@ -163,6 +229,12 @@ def main(argv: list[str] | None = None) -> int:
                          f"adj {rec['penalty_adjusted_profit']:.1f}  ")
             line += f"p99 {rec['latency_p99_us']:.0f}µs"
             print(line)
+    service = report["service"]
+    print(f"service ({service['events']} events, "
+          f"{service['in_process_events_per_sec']:.0f} ev/s in-process):")
+    for row in service["rows"]:
+        print(f"  {row['mode']:<17} {row['events_per_sec']:>9.0f} ev/s  "
+              f"overhead x{row['overhead']:.2f}")
     sharding = report["sharding"]
     print(f"sharding ({sharding['trace']['events']} events, poisson tree, "
           f"{sharding['unsharded_events_per_sec']:.0f} ev/s unsharded):")

@@ -8,6 +8,8 @@ python -m repro sweep     a.json b.json --solvers tree-unit,sequential --seeds 0
 python -m repro bench     --smoke
 python -m repro replay    --policy dual-gated --events 10000
 python -m repro replay    trace.json --shards 4 --shard-by subtree
+python -m repro serve     --trace trace.json --policy dual-gated --journal j.log
+python -m repro resume    --journal j.log -o metrics.json
 python -m repro sweep-preemption --factors 1.2,2.0 --penalties 0,0.25
 python -m repro decompose --topology caterpillar --n 32
 ```
@@ -20,6 +22,10 @@ a process pool with result caching; ``bench`` times the vectorized hot
 path; ``replay`` streams an event trace through an online admission
 policy (generating and optionally saving the trace on the fly), and
 with ``--shards N`` fans it across the sharded admission engine;
+``serve`` runs the long-lived admission service — JSON-lines requests
+on stdin (or one TCP client with ``--port``), a write-ahead admission
+journal, and an optional sharded-coordinator backend — and ``resume``
+warm-restarts a killed service from its journal and finishes the trace;
 ``sweep-preemption`` grids preemption factor × penalty over saved
 traces and reports where preemption stops paying; ``decompose`` prints
 the Section 4 decomposition table.
@@ -126,6 +132,22 @@ def _seed_list(text: str) -> list[int]:
     if not seeds:
         raise argparse.ArgumentTypeError("need at least one seed")
     return seeds
+
+
+def _apply_policy_args(kwargs: dict, entries, command: str) -> dict:
+    """Fold repeated ``--policy-arg KEY=VALUE`` entries into ``kwargs``
+    (values parsed as JSON when possible), with friendly errors."""
+    for entry in entries:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"{command}: --policy-arg wants KEY=VALUE, got {entry!r}"
+            )
+        try:
+            kwargs[key] = json.loads(value)
+        except json.JSONDecodeError:
+            kwargs[key] = value
+    return kwargs
 
 
 def _registry_epilog() -> str:
@@ -292,6 +314,60 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the (generated) trace JSON here")
     rep.add_argument("-o", "--output", default=None,
                      help="write the metrics JSON here")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the long-lived admission service over a trace's "
+             "demand population",
+        epilog="request protocol: one JSON object per stdin line, e.g. "
+               '{"op": "admit", "demand": 3, "time": 1.5} — ops: admit, '
+               "release, tick, submit, query, stats, snapshot, close; "
+               "one JSON response per line on stdout",
+    )
+    srv.add_argument("--trace", required=True,
+                     help="trace JSON holding the frozen demand "
+                          "population (repro replay --save-trace "
+                          "writes one)")
+    srv.add_argument("--policy", default="greedy-threshold",
+                     choices=POLICY_NAMES)
+    srv.add_argument("--policy-arg", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="policy constructor argument (repeatable; "
+                          "values parsed as JSON when possible)")
+    srv.add_argument("--journal", default=None,
+                     help="append-only admission journal (enables "
+                          "warm restart via `repro resume`)")
+    srv.add_argument("--shards", type=_int_arg("shards", minimum=1),
+                     default=1,
+                     help="run the sharded coordinator backend with "
+                          "this many per-shard ledgers (default: 1)")
+    srv.add_argument("--shard-by", default="subtree",
+                     choices=SHARD_STRATEGIES)
+    srv.add_argument("--port", type=_int_arg("port", minimum=0),
+                     default=None,
+                     help="serve one TCP client on this port (0 = "
+                          "ephemeral) instead of stdin/stdout")
+    srv.add_argument("--sync", action="store_true",
+                     help="fsync the journal after every record "
+                          "(power-loss durability; slower)")
+
+    res = sub.add_parser(
+        "resume",
+        help="warm-restart a killed service from its admission journal",
+    )
+    res.add_argument("--journal", required=True,
+                     help="journal written by `repro serve --journal`")
+    res.add_argument("--serve", action="store_true",
+                     help="keep serving requests on stdin after the "
+                          "restart instead of finishing the trace")
+    res.add_argument("--port", type=_int_arg("port", minimum=0),
+                     default=None,
+                     help="with --serve: serve one TCP client on this "
+                          "port instead of stdin")
+    res.add_argument("--sync", action="store_true",
+                     help="fsync the journal after every record")
+    res.add_argument("-o", "--output", default=None,
+                     help="write the final metrics JSON here")
 
     swp_p = sub.add_parser(
         "sweep-preemption",
@@ -496,16 +572,7 @@ def _replay(args) -> int:
             "penalty": args.penalty,
         },
     }[args.policy]()
-    for entry in args.policy_arg:
-        key, sep, value = entry.partition("=")
-        if not sep or not key:
-            raise SystemExit(
-                f"replay: --policy-arg wants KEY=VALUE, got {entry!r}"
-            )
-        try:
-            policy_kwargs[key] = json.loads(value)
-        except json.JSONDecodeError:
-            policy_kwargs[key] = value
+    _apply_policy_args(policy_kwargs, args.policy_arg, "replay")
     # Bad kwargs (e.g. a misspelled --policy-arg name) surface as the
     # same friendly errors bad solver names get, not a raw traceback —
     # and before the (possibly expensive) trace is generated or loaded.
@@ -591,6 +658,80 @@ def _replay_sharded(args, trace, policy_kwargs: dict) -> int:
                 result.critical_path_events_per_sec,
             "trace_meta": dict(trace.meta),
         }
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"metrics written to {args.output}")
+    return 0
+
+
+def _serve(args) -> int:
+    """The ``serve`` subcommand: a journaled service over stdin/socket."""
+    import os
+
+    from .io import load_trace
+    from .online.policies import make_policy
+    from .service import AdmissionService, serve_socket, serve_stdio
+
+    policy_kwargs = _apply_policy_args({}, args.policy_arg, "serve")
+    try:
+        make_policy(args.policy, **policy_kwargs)  # validate early
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
+    trace = load_trace(args.trace)
+    try:
+        service = AdmissionService(
+            trace, args.policy, policy_kwargs,
+            journal_path=args.journal,
+            shards=args.shards, shard_by=args.shard_by, sync=args.sync,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
+    # Banners go to stderr: stdout is the response channel.
+    print(f"serving {os.path.basename(args.trace)} "
+          f"({trace.num_arrivals} demands) with {args.policy}"
+          + (f", journal {args.journal}" if args.journal else "")
+          + (f", {args.shards} shards" if args.shards > 1 else ""),
+          file=sys.stderr)
+    if args.port is not None:
+        serve_socket(service, port=args.port,
+                     announce=lambda addr: print(
+                         f"listening on {addr[0]}:{addr[1]}",
+                         file=sys.stderr, flush=True))
+    else:
+        serve_stdio(service)
+    return 0
+
+
+def _resume(args) -> int:
+    """The ``resume`` subcommand: warm restart + finish (or keep serving)."""
+    from .report import render_replay
+    from .service import AdmissionService, serve_socket, serve_stdio
+
+    try:
+        service = AdmissionService.resume(args.journal, sync=args.sync)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"resume: {exc}")
+    resumed_at = service.position
+    print(f"recovered {resumed_at} journaled events "
+          f"({service.policy_name}, "
+          f"{service.trace.problem.num_demands} demands)",
+          file=sys.stderr)
+    if args.serve:
+        if args.port is not None:
+            serve_socket(service, port=args.port,
+                         announce=lambda addr: print(
+                             f"listening on {addr[0]}:{addr[1]}",
+                             file=sys.stderr, flush=True))
+        else:
+            serve_stdio(service)
+        return 0
+    result = service.run_remaining()
+    print(render_replay([result.metrics]))
+    if args.output:
+        doc = result.metrics.to_dict()
+        doc["policy_stats"] = result.policy_stats
+        doc["trace_meta"] = result.trace_meta
+        doc["resumed_at"] = resumed_at
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2)
         print(f"metrics written to {args.output}")
@@ -711,6 +852,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _sweep,
         "bench": _bench,
         "replay": _replay,
+        "serve": _serve,
+        "resume": _resume,
         "sweep-preemption": _sweep_preemption,
         "decompose": _decompose,
     }

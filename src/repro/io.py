@@ -1,4 +1,4 @@
-"""JSON serialization for problems, solutions and event traces.
+"""JSON serialization for problems, solutions, event traces and journals.
 
 Lets workloads be pinned to disk (regression corpora, cross-machine
 benchmark runs), solutions be archived next to the dual certificates
@@ -6,11 +6,29 @@ that justify them, and online event traces be replayed bit-identically
 on other machines.  The formats are stable, versioned, human-readable
 JSON documents; round-trips are exact (vertex ids, profits, heights,
 access sets, selected instances, event times).
+
+All ``save_*`` writers are **atomic**: the document is written to a
+temporary file in the destination directory and moved into place with
+:func:`os.replace`, so a process killed mid-write never leaves a
+truncated JSON artifact behind.
+
+The **admission journal** is the service layer's durability log: an
+append-only JSON-lines file whose first line is a self-contained header
+(policy, parameters, the full trace document) and whose every further
+line is one submitted event in the trace event schema.  Because replay
+decisions are deterministic, re-submitting the journaled events into a
+fresh :class:`~repro.session.AdmissionSession` reconstructs the exact
+ledger and metrics state — the warm-restart path.  :func:`read_journal`
+tolerates a truncated final line (the one a ``kill -9`` can leave
+behind) and reports the byte offset of the last intact record so the
+writer can resume appending cleanly.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 from .core.demand import Demand, LineDemandInstance, TreeDemandInstance, WindowDemand
@@ -26,18 +44,25 @@ __all__ = [
     "solution_from_dict",
     "trace_to_dict",
     "trace_from_dict",
+    "event_to_dict",
+    "event_from_dict",
     "save_problem",
     "load_problem",
     "save_solution",
     "load_solution",
     "save_trace",
     "load_trace",
+    "JournalWriter",
+    "read_journal",
 ]
 
 FORMAT_VERSION = 1
 
 #: Version of the event-trace document (independent of the problem format).
 TRACE_FORMAT_VERSION = 1
+
+#: Version of the admission-journal envelope.
+JOURNAL_FORMAT_VERSION = 1
 
 
 def problem_to_dict(problem) -> dict:
@@ -172,6 +197,35 @@ def solution_from_dict(doc: dict, problem) -> Solution:
     return Solution(selected=selected, stats=dict(doc.get("stats", {})))
 
 
+def event_to_dict(ev) -> dict:
+    """Serialize one Arrival/Departure/Tick (the trace event schema)."""
+    from .online.events import Arrival, Departure, Tick
+
+    if isinstance(ev, Arrival):
+        return {"type": "arrival", "time": ev.time, "demand": ev.demand_id}
+    if isinstance(ev, Departure):
+        return {"type": "departure", "time": ev.time, "demand": ev.demand_id}
+    if isinstance(ev, Tick):
+        return {"type": "tick", "time": ev.time}
+    raise TypeError(f"cannot serialize event {type(ev).__name__}")
+
+
+def event_from_dict(rec: dict):
+    """Inverse of :func:`event_to_dict`."""
+    from .online.events import Arrival, Departure, Tick
+
+    if not isinstance(rec, dict):
+        raise ValueError(f"event record must be an object, got {rec!r}")
+    etype = rec.get("type")
+    if etype == "arrival":
+        return Arrival(float(rec["time"]), int(rec["demand"]))
+    if etype == "departure":
+        return Departure(float(rec["time"]), int(rec["demand"]))
+    if etype == "tick":
+        return Tick(float(rec["time"]))
+    raise ValueError(f"unknown event type {etype!r}")
+
+
 def trace_to_dict(trace) -> dict:
     """Serialize an :class:`~repro.online.events.EventTrace`.
 
@@ -179,32 +233,18 @@ def trace_to_dict(trace) -> dict:
     :data:`FORMAT_VERSION`); the trace envelope carries its own
     :data:`TRACE_FORMAT_VERSION` so the two can evolve independently.
     """
-    from .online.events import Arrival, Departure, Tick
-
-    events = []
-    for ev in trace.events:
-        if isinstance(ev, Arrival):
-            events.append({"type": "arrival", "time": ev.time,
-                           "demand": ev.demand_id})
-        elif isinstance(ev, Departure):
-            events.append({"type": "departure", "time": ev.time,
-                           "demand": ev.demand_id})
-        elif isinstance(ev, Tick):
-            events.append({"type": "tick", "time": ev.time})
-        else:
-            raise TypeError(f"cannot serialize event {type(ev).__name__}")
     return {
         "format": TRACE_FORMAT_VERSION,
         "kind": "trace",
         "problem": problem_to_dict(trace.problem),
-        "events": events,
+        "events": [event_to_dict(ev) for ev in trace.events],
         "meta": dict(trace.meta),
     }
 
 
 def trace_from_dict(doc: dict):
     """Inverse of :func:`trace_to_dict` (re-validates the event stream)."""
-    from .online.events import Arrival, Departure, EventTrace, Tick
+    from .online.events import EventTrace
 
     version = doc.get("format")
     if version != TRACE_FORMAT_VERSION:
@@ -212,25 +252,38 @@ def trace_from_dict(doc: dict):
     if doc.get("kind") != "trace":
         raise ValueError(f"not a trace document: kind={doc.get('kind')!r}")
     problem = problem_from_dict(doc["problem"])
-    events = []
-    for rec in doc["events"]:
-        etype = rec.get("type")
-        if etype == "arrival":
-            events.append(Arrival(float(rec["time"]), int(rec["demand"])))
-        elif etype == "departure":
-            events.append(Departure(float(rec["time"]), int(rec["demand"])))
-        elif etype == "tick":
-            events.append(Tick(float(rec["time"])))
-        else:
-            raise ValueError(f"unknown event type {etype!r}")
+    events = [event_from_dict(rec) for rec in doc["events"]]
     return EventTrace(problem=problem, events=events,
                       meta=dict(doc.get("meta", {})))
 
 
+def _atomic_dump(doc: dict, path: str) -> None:
+    """Write ``doc`` as JSON via temp-file + :func:`os.replace`.
+
+    The temp file lives in the destination directory (same filesystem,
+    so the replace is atomic) and is removed on any failure — a killed
+    or crashing writer leaves either the old file or the new one, never
+    a truncated hybrid.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_problem(problem, path: str) -> None:
-    """Write a problem as JSON."""
-    with open(path, "w") as fh:
-        json.dump(problem_to_dict(problem), fh, indent=1)
+    """Write a problem as JSON (atomically)."""
+    _atomic_dump(problem_to_dict(problem), path)
 
 
 def load_problem(path: str):
@@ -240,9 +293,8 @@ def load_problem(path: str):
 
 
 def save_solution(solution: Solution, path: str) -> None:
-    """Write a solution as JSON."""
-    with open(path, "w") as fh:
-        json.dump(solution_to_dict(solution), fh, indent=1)
+    """Write a solution as JSON (atomically)."""
+    _atomic_dump(solution_to_dict(solution), path)
 
 
 def load_solution(path: str, problem) -> Solution:
@@ -252,12 +304,136 @@ def load_solution(path: str, problem) -> Solution:
 
 
 def save_trace(trace, path: str) -> None:
-    """Write an event trace as JSON."""
-    with open(path, "w") as fh:
-        json.dump(trace_to_dict(trace), fh, indent=1)
+    """Write an event trace as JSON (atomically)."""
+    _atomic_dump(trace_to_dict(trace), path)
 
 
 def load_trace(path: str):
     """Read a trace written by :func:`save_trace`."""
     with open(path) as fh:
         return trace_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# The admission journal (append-only JSON lines)
+# ----------------------------------------------------------------------
+
+
+class JournalWriter:
+    """Append-only JSON-lines admission journal.
+
+    The first line of a fresh journal is the header: a self-contained
+    record of the policy name, its constructor parameters, the backend
+    shape (shards / strategy) and the **full trace document**, so a
+    journal alone rebuilds the session that wrote it.  Every further
+    line is one event in the trace event schema, flushed per record —
+    an OS-level write, so the journal survives a ``kill -9`` of the
+    writer (set ``sync=True`` to also ``fsync`` per record and survive
+    power loss, at a large throughput cost).
+
+    Parameters
+    ----------
+    path:
+        Journal file path; created (with the header) when missing or
+        empty, else opened for appending at ``start_at`` bytes.
+    header:
+        The header dict (required for a fresh journal).  The envelope
+        fields (``kind`` / ``format``) are stamped here.
+    sync:
+        ``fsync`` after every record.
+    start_at:
+        Truncate the file to this many bytes before appending — the
+        resume path drops a torn final line this way (see
+        :func:`read_journal`).
+    """
+
+    def __init__(self, path: str, header: dict | None = None, *,
+                 sync: bool = False, start_at: int | None = None):
+        self.path = path
+        self.sync = bool(sync)
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if start_at is not None:
+            if not exists:
+                raise ValueError(f"cannot resume missing journal {path!r}")
+            with open(path, "r+") as fh:
+                fh.truncate(start_at)
+            self._fh = open(path, "a")
+        elif exists:
+            raise ValueError(
+                f"journal {path!r} already exists; pass start_at= (resume) "
+                "or choose a fresh path"
+            )
+        else:
+            if header is None:
+                raise ValueError("a fresh journal needs a header")
+            self._fh = open(path, "w")
+            doc = dict(header)
+            doc["kind"] = "admission-journal"
+            doc["format"] = JOURNAL_FORMAT_VERSION
+            self._write_line(doc)
+
+    def _write_line(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    def append(self, event) -> None:
+        """Journal one event (write-ahead: call *before* applying it)."""
+        self._write_line(event_to_dict(event))
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> tuple[dict, list, int]:
+    """Read an admission journal; returns ``(header, events, good_bytes)``.
+
+    ``events`` are rehydrated Arrival/Departure/Tick records in journal
+    order.  A torn *final* line — what a killed writer leaves behind —
+    is tolerated and dropped; corruption anywhere else is an error.
+    ``good_bytes`` is the file offset right after the last intact line,
+    the ``start_at`` a resuming :class:`JournalWriter` should use.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    lines = raw.split(b"\n")
+    # The writer terminates every record with '\n', so a newline-less
+    # tail is a torn write — dropped even when its JSON happens to
+    # parse (a kill can land exactly between the bytes and the
+    # newline), because resuming must append at a clean line start and
+    # good_bytes/events must describe the same prefix.
+    body = lines[:-1]  # lines[-1] is b"" iff the file ends with '\n'
+    offset = 0
+    records: list[dict] = []
+    for i, line in enumerate(body):
+        if not line.strip():
+            offset += len(line) + 1
+            continue
+        try:
+            records.append(json.loads(line.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError):
+            # Every body line was newline-terminated, i.e. fully
+            # written — a bad one is corruption, not a torn tail.
+            raise ValueError(
+                f"corrupt journal {path!r}: bad record on line {i + 1}"
+            )
+        offset += len(line) + 1
+    if not records:
+        raise ValueError(f"journal {path!r} has no header")
+    header = records[0]
+    if header.get("kind") != "admission-journal":
+        raise ValueError(f"{path!r} is not an admission journal")
+    if header.get("format") != JOURNAL_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported journal format version {header.get('format')!r}"
+        )
+    events = [event_from_dict(rec) for rec in records[1:]]
+    return header, events, offset

@@ -33,7 +33,9 @@ from .events import (
     poisson_trace,
 )
 from .metrics import (
+    TIMING_FIELDS,
     ReplayMetrics,
+    deterministic_metrics,
     latency_percentiles,
     offline_optimum,
     with_offline,
@@ -65,8 +67,10 @@ __all__ = [
     "PreemptDualGated",
     "ReplayMetrics",
     "ReplayResult",
+    "TIMING_FIELDS",
     "Tick",
     "bursty_trace",
+    "deterministic_metrics",
     "diurnal_trace",
     "generate_trace",
     "latency_percentiles",

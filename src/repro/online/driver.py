@@ -1,179 +1,42 @@
 """The replay driver: one pass over a trace through one policy.
 
-:func:`replay` owns the event loop and the ledger lifecycle — policies
-only decide admissions and evictions.  Every event's *policy* work is
-timed individually: the per-event latency percentiles in the metrics
-cover arrivals, departures and ticks alike, so tick-triggered batch
-flushes land in the tail the same way arrival-triggered ones do, and the
+:func:`replay` is now a thin consumer of the
+:class:`~repro.session.AdmissionSession` kernel, which owns the event
+loop, the ledger lifecycle, and the metrics accumulation — policies only
+decide admissions and evictions.  Every event's *policy* work is timed
+individually: the per-event latency percentiles in the metrics cover
+arrivals, departures and ticks alike, so tick-triggered batch flushes
+land in the tail the same way arrival-triggered ones do, and the
 end-of-trace ``finish()`` flush — often the single most expensive
 operation for batching policies — contributes one extra sample of its
-own.  The ledger bookkeeping the driver performs on a departure
+own.  The ledger bookkeeping the kernel performs on a departure
 (``ledger.release``) happens *outside* the timed window, so the
-percentiles measure decision latency, not the driver's own accounting.
-Ticks and the end-of-trace flush let batching policies drain their
-buffers.  The final admitted set is re-verified against the problem
-definition from first principles, so a buggy policy cannot silently
-oversubscribe an edge.
+percentiles measure decision latency, not the kernel's own accounting.
+The final admitted set is re-verified against the problem definition
+from first principles, so a buggy policy cannot silently oversubscribe
+an edge.
 
 Admission decisions are deterministic given (trace, policy
 configuration): the only nondeterminism in the result is wall-clock
 timing.
+
+:class:`ReplayResult`, :func:`assemble_result` and :func:`certificate_of`
+live in :mod:`repro.session.kernel` and are re-exported here for the
+existing import sites.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from ..core.solution import Solution
-from .events import Arrival, Departure, EventTrace, Tick
-from .metrics import ReplayMetrics, latency_percentiles
+from ..session.kernel import (
+    AdmissionSession,
+    ReplayResult,
+    assemble_result,
+    certificate_of,
+)
+from .events import EventTrace
 from .policies import AdmissionPolicy
-from .state import CapacityLedger
 
-__all__ = ["ReplayResult", "assemble_result", "certificate_of", "replay",
-           "stream_events"]
-
-
-@dataclass
-class ReplayResult:
-    """Everything one replay produced.
-
-    Attributes
-    ----------
-    metrics:
-        The flat :class:`~repro.online.metrics.ReplayMetrics` record.
-    admission_log:
-        ``(demand_id, instance_id)`` in admission order (never shrinks;
-        includes demands that later departed or were evicted).
-    eviction_log:
-        ``(demand_id, instance_id)`` in eviction order — the demands a
-        preemptive policy displaced (empty for non-preemptive policies).
-    final_solution:
-        The instances still admitted when the trace ended, as a
-        verified-feasible :class:`~repro.core.solution.Solution`.
-    policy_stats:
-        The policy's own counters (gates, flushes, ...).
-    trace_meta:
-        The trace's provenance dict, echoed for reports.
-    """
-
-    metrics: ReplayMetrics
-    admission_log: list = field(default_factory=list)
-    eviction_log: list = field(default_factory=list)
-    final_solution: Solution | None = None
-    policy_stats: dict = field(default_factory=dict)
-    trace_meta: dict = field(default_factory=dict)
-
-
-def stream_events(ledger: CapacityLedger, events, policy: AdmissionPolicy):
-    """The timed event loop shared by :func:`replay` and the sharded
-    :class:`~repro.sharding.ledger.BoundaryBroker`.
-
-    ``policy`` must already be bound to ``ledger``.  Returns
-    ``(arrivals, departures, ticks, latencies, elapsed_s)``.  Every
-    event's *policy* work is timed individually; the ledger bookkeeping
-    on a departure (``ledger.release``) happens outside the timed
-    window, and the final ``finish()`` flush — often the single most
-    expensive operation for batching policies — contributes one extra
-    latency sample of its own.
-    """
-    latencies: list[float] = []
-    arrivals = departures = ticks = 0
-    t_start = time.perf_counter()
-    for ev in events:
-        if isinstance(ev, Arrival):
-            arrivals += 1
-            t0 = time.perf_counter()
-            policy.on_arrival(ev.demand_id)
-            latencies.append(time.perf_counter() - t0)
-        elif isinstance(ev, Departure):
-            departures += 1
-            # The ledger's own bookkeeping is not policy work: release
-            # before starting the clock, so the latency sample measures
-            # only the policy's decision path.
-            if ledger.is_admitted(ev.demand_id):
-                ledger.release(ev.demand_id)
-            t0 = time.perf_counter()
-            policy.on_departure(ev.demand_id)
-            latencies.append(time.perf_counter() - t0)
-        elif isinstance(ev, Tick):
-            ticks += 1
-            t0 = time.perf_counter()
-            policy.on_tick(ev.time)
-            latencies.append(time.perf_counter() - t0)
-    t0 = time.perf_counter()
-    policy.finish()
-    latencies.append(time.perf_counter() - t0)
-    elapsed = time.perf_counter() - t_start
-    return arrivals, departures, ticks, latencies, elapsed
-
-
-def certificate_of(policy: AdmissionPolicy) -> dict | None:
-    """A price-carrying policy's upper-bound certificate, else ``None``.
-
-    Called after the replay clock stops, so the certificate never
-    pollutes the latency percentiles.
-    """
-    certify = getattr(policy, "price_certificate", None)
-    return certify() if callable(certify) else None
-
-
-def assemble_result(ledger: CapacityLedger, policy: AdmissionPolicy, *,
-                    events: int, arrivals: int, departures: int, ticks: int,
-                    latencies: list, elapsed: float, trace_meta: dict,
-                    certificate: dict | None,
-                    baseline: dict | None = None,
-                    final_solution=None) -> "ReplayResult":
-    """Build the metrics/logs/stats record both replay loops share.
-
-    ``baseline`` holds counter and log offsets captured before the loop
-    ran (``accepted`` / ``evicted`` log lengths, ``realized`` /
-    ``forfeited`` / ``penalty`` counters) — the sharded
-    :class:`~repro.sharding.ledger.BoundaryBroker` reports *deltas*
-    over absorbed state; ``None`` means a fresh ledger.
-    """
-    base = baseline or {}
-    base_accepted = base.get("accepted", 0)
-    base_evicted = base.get("evicted", 0)
-    realized = ledger.realized_profit - base.get("realized", 0.0)
-    penalty = ledger.penalty_paid - base.get("penalty", 0.0)
-    accepted = len(ledger.admission_log) - base_accepted
-    pct = latency_percentiles(latencies)
-    metrics = ReplayMetrics(
-        policy=policy.name,
-        events=events,
-        arrivals=arrivals,
-        departures=departures,
-        ticks=ticks,
-        accepted=accepted,
-        rejected=arrivals - accepted,
-        acceptance_ratio=accepted / arrivals if arrivals else 0.0,
-        realized_profit=realized,
-        evictions=len(ledger.eviction_log) - base_evicted,
-        forfeited_profit=ledger.forfeited_profit - base.get("forfeited", 0.0),
-        penalty_paid=penalty,
-        penalty_adjusted_profit=realized - penalty,
-        elapsed_s=elapsed,
-        events_per_sec=events / elapsed if elapsed > 0 else 0.0,
-        latency_p50_us=pct["p50_us"],
-        latency_p90_us=pct["p90_us"],
-        latency_p99_us=pct["p99_us"],
-        latency_mean_us=pct["mean_us"],
-        dual_upper_bound=(certificate["upper_bound"]
-                          if certificate else None),
-    )
-    policy_stats = dict(policy.stats)
-    if certificate:
-        policy_stats["dual_certificate"] = certificate
-    return ReplayResult(
-        metrics=metrics,
-        admission_log=list(ledger.admission_log[base_accepted:]),
-        eviction_log=list(ledger.eviction_log[base_evicted:]),
-        final_solution=final_solution,
-        policy_stats=policy_stats,
-        trace_meta=dict(trace_meta),
-    )
+__all__ = ["ReplayResult", "assemble_result", "certificate_of", "replay"]
 
 
 def replay(trace: EventTrace, policy: AdmissionPolicy, *,
@@ -185,27 +48,16 @@ def replay(trace: EventTrace, policy: AdmissionPolicy, *,
     trace:
         The event stream plus its frozen demand population.
     policy:
-        An unbound :class:`~repro.online.policies.AdmissionPolicy`; it
-        is bound to a fresh :class:`~repro.online.state.CapacityLedger`
-        here, so one policy object can be reused across replays.
+        An unbound :class:`~repro.online.policies.AdmissionPolicy`; the
+        session binds it to a fresh
+        :class:`~repro.online.state.CapacityLedger`, so one policy
+        object can be reused across replays.
     verify:
         Re-check the final admitted set against the problem definition
         (cheap; disable only in throughput benchmarks).
     """
-    ledger = CapacityLedger(trace.problem)
-    policy.bind(ledger)
-    arrivals, departures, ticks, latencies, elapsed = stream_events(
-        ledger, trace.events, policy
-    )
-
-    if verify:
-        ledger.verify()
-    return assemble_result(
-        ledger, policy,
-        events=len(trace.events), arrivals=arrivals,
-        departures=departures, ticks=ticks,
-        latencies=latencies, elapsed=elapsed,
-        trace_meta=trace.meta,
-        certificate=certificate_of(policy),
-        final_solution=ledger.snapshot(),
-    )
+    session = AdmissionSession(trace.problem, policy,
+                               trace_meta=trace.meta)
+    for ev in trace.events:
+        session.feed(ev)
+    return session.close(verify=verify)

@@ -18,8 +18,24 @@ import numpy as np
 
 from .events import EventTrace
 
-__all__ = ["ReplayMetrics", "latency_percentiles", "offline_optimum",
-           "with_offline"]
+__all__ = ["ReplayMetrics", "TIMING_FIELDS", "deterministic_metrics",
+           "latency_percentiles", "offline_optimum", "with_offline"]
+
+#: The wall-clock-dependent metrics fields — everything else is a pure
+#: function of (trace, policy configuration).
+TIMING_FIELDS = ("elapsed_s", "events_per_sec", "latency_p50_us",
+                 "latency_p90_us", "latency_p99_us", "latency_mean_us")
+
+
+def deterministic_metrics(metrics) -> dict:
+    """``metrics`` (a record or its ``to_dict`` form) minus the
+    wall-clock-dependent fields — the projection that must agree exactly
+    between a warm-restarted session and an uninterrupted replay, and
+    that the shards=1 equivalence tests compare byte for byte."""
+    doc = dict(metrics if isinstance(metrics, dict) else metrics.to_dict())
+    for k in TIMING_FIELDS:
+        doc.pop(k, None)
+    return doc
 
 
 def latency_percentiles(latencies_s: Sequence[float]) -> dict[str, float]:
@@ -71,6 +87,11 @@ class ReplayMetrics:
     #: always ``>= offline_profit`` by weak duality, and computed from
     #: the replay itself — no offline solve needed.
     dual_upper_bound: float | None = None
+    #: The peak-only bound, reported alongside the (tightened)
+    #: ``dual_upper_bound`` when the policy records per-edge price
+    #: *histories* (``dual-gated`` / ``preempt-dual-gated`` with
+    #: ``history=True``); ``None`` otherwise.
+    dual_upper_bound_peak: float | None = None
     #: Profit of the frozen-instance benchmark (``None`` when not computed).
     offline_profit: float | None = None
     #: ``adjusted / offline`` — the fraction of the benchmark captured

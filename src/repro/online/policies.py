@@ -130,15 +130,28 @@ class DualGated(AdmissionPolicy):
     mu:
         Price base override; ``None`` derives it from the problem's
         profit spread and route lengths as above.
+    history:
+        Opt-in tighter certificate: record per-edge price *histories*
+        (load-vector snapshots along the admission trajectory, not just
+        the peaks) and certify the minimum bound over the trajectory —
+        every snapshot is a valid dual by weak duality, and mid-stream
+        snapshots are often tighter than the peaks on lightly loaded
+        edges.  Costs one O(edges) copy per admission (geometrically
+        thinned to a bounded set), so it is off by default.
     """
 
     name = "dual-gated"
 
-    def __init__(self, eta: float = 1.0, mu: float | None = None):
+    #: History snapshots kept before geometric thinning kicks in.
+    _MAX_SNAPSHOTS = 256
+
+    def __init__(self, eta: float = 1.0, mu: float | None = None,
+                 history: bool = False):
         if eta <= 0:
             raise ValueError("eta must be positive")
         self.eta = float(eta)
         self._mu_override = mu
+        self.history = bool(history)
 
     def bind(self, ledger: CapacityLedger) -> None:
         super().bind(ledger)
@@ -159,6 +172,12 @@ class DualGated(AdmissionPolicy):
         # set new peaks immediately after an admission, so noting peaks
         # there captures the whole trajectory.
         self._peak = ledger.active._load.copy()
+        # Price-history snapshots (opt-in): load vectors along the
+        # admission trajectory, geometrically thinned so memory stays
+        # bounded on long streams.
+        self._snapshots: list[np.ndarray] = []
+        self._snap_stride = 1
+        self._snap_seen = 0
         self.stats = {"gated": 0, "capacity_blocked": 0, "max_gate": 0.0}
 
     def _price_from_loads(self, iid: int, loads: np.ndarray) -> float:
@@ -207,6 +226,35 @@ class DualGated(AdmissionPolicy):
         eids = self.ledger._edge_ids(iid)
         load = self.ledger.active._load
         self._peak[eids] = np.maximum(self._peak[eids], load[eids])
+        if self.history:
+            self._snap_seen += 1
+            if self._snap_seen % self._snap_stride == 0:
+                self._snapshots.append(load.copy())
+                if len(self._snapshots) > self._MAX_SNAPSHOTS:
+                    # Keep every other snapshot and double the stride:
+                    # coverage stays trajectory-wide at bounded memory.
+                    self._snapshots = self._snapshots[1::2]
+                    self._snap_stride *= 2
+
+    def _dual_bound_at(self, loads: np.ndarray) -> tuple[float, float]:
+        """``(beta_total, z_total)`` of the dual assignment induced by
+        pricing every edge at ``loads`` — valid for any ``loads >= 0``
+        by weak duality (see :meth:`price_certificate`)."""
+        ledger = self.ledger
+        idx = ledger.index
+        beta = self._scale * (np.power(self.mu, loads) - 1.0)
+        if len(ledger.instances):
+            route = (np.add.reduceat(beta[idx._flat_edges], idx._indptr[:-1])
+                     if len(idx._flat_edges) else
+                     np.zeros(len(ledger.instances)))
+            profits = np.asarray([d.profit for d in ledger.instances])
+            slack = profits - idx._heights * route
+            z = np.zeros(len(idx._demand_index))
+            np.maximum.at(z, idx._dix, slack)
+            z_total = float(z.sum())
+        else:
+            z_total = 0.0
+        return float(beta.sum()), z_total
 
     def price_certificate(self) -> dict:
         """LP-dual upper bound certified by the price trajectory.
@@ -221,30 +269,34 @@ class DualGated(AdmissionPolicy):
         replay itself at no extra solver cost.  (Validity holds for any
         ``β ≥ 0``; the peaks only make the bound tight where the gate
         actually ramped.)
+
+        With ``history=True`` the same dual assignment is additionally
+        evaluated at every recorded trajectory snapshot (and the final
+        loads) — each is an independently valid dual, so the certified
+        ``upper_bound`` is the *minimum* over the whole family, with the
+        peak-based bound echoed as ``peak_upper_bound`` for the
+        side-by-side report column.
         """
-        ledger = self.ledger
-        idx = ledger.index
-        beta = self._scale * (np.power(self.mu, self._peak) - 1.0)
-        if len(ledger.instances):
-            route = (np.add.reduceat(beta[idx._flat_edges], idx._indptr[:-1])
-                     if len(idx._flat_edges) else
-                     np.zeros(len(ledger.instances)))
-            profits = np.asarray([d.profit for d in ledger.instances])
-            slack = profits - idx._heights * route
-            z = np.zeros(len(idx._demand_index))
-            np.maximum.at(z, idx._dix, slack)
-            z_total = float(z.sum())
-        else:
-            z_total = 0.0
-        beta_total = float(beta.sum())
-        return {
-            "upper_bound": beta_total + z_total,
+        beta_total, z_total = self._dual_bound_at(self._peak)
+        peak_bound = beta_total + z_total
+        doc = {
+            "upper_bound": peak_bound,
             "beta_total": beta_total,
             "z_total": z_total,
             "peak_load": float(self._peak.max()) if len(self._peak) else 0.0,
             "mu": float(self.mu),
             "priced_edges": int(np.count_nonzero(self._peak)),
         }
+        if self.history:
+            best = peak_bound
+            candidates = self._snapshots + [self.ledger.active._load]
+            for loads in candidates:
+                b, z = self._dual_bound_at(loads)
+                best = min(best, b + z)
+            doc["upper_bound"] = best
+            doc["peak_upper_bound"] = peak_bound
+            doc["history_points"] = len(candidates)
+        return doc
 
 
 class BatchResolve(AdmissionPolicy):
@@ -538,7 +590,7 @@ class PreemptDualGated(DualGated, _PreemptiveAdmission):
 
     Parameters
     ----------
-    eta, mu:
+    eta, mu, history:
         As in :class:`DualGated`.
     penalty:
         Fraction of each evictee's profit charged as compensation.
@@ -547,8 +599,8 @@ class PreemptDualGated(DualGated, _PreemptiveAdmission):
     name = "preempt-dual-gated"
 
     def __init__(self, eta: float = 1.0, mu: float | None = None,
-                 penalty: float = 0.0):
-        super().__init__(eta=eta, mu=mu)
+                 penalty: float = 0.0, history: bool = False):
+        super().__init__(eta=eta, mu=mu, history=history)
         if penalty < 0:
             raise ValueError("penalty must be >= 0")
         self.penalty = float(penalty)

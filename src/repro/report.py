@@ -203,12 +203,18 @@ def render_replay(metrics: Sequence) -> str:
         d.get("evictions") or d.get("penalty_paid") for d in docs
     )
     with_dual_ub = any(d.get("dual_upper_bound") is not None for d in docs)
+    # History-mode certificates report the peak-based bound alongside
+    # the tightened one, so the two columns read side by side.
+    with_peak_ub = any(d.get("dual_upper_bound_peak") is not None
+                       for d in docs)
     headers = ["policy", "events", "arrivals", "accepted", "acc%",
                "profit"]
     if with_evictions:
         headers += ["evict", "forfeit", "adj profit"]
     if with_dual_ub:
         headers += ["OPT≤(dual)"]
+    if with_peak_ub:
+        headers += ["OPT≤(peak)"]
     if with_offline:
         headers += ["offline OPT", "ALG/OPT", "c-ratio"]
     headers += ["p50 µs", "p99 µs", "events/s"]
@@ -231,6 +237,9 @@ def render_replay(metrics: Sequence) -> str:
         if with_dual_ub:
             ub = d.get("dual_upper_bound")
             row.append("-" if ub is None else f"{ub:.2f}")
+        if with_peak_ub:
+            pk = d.get("dual_upper_bound_peak")
+            row.append("-" if pk is None else f"{pk:.2f}")
         if with_offline:
             opt = d.get("offline_profit")
             vs = d.get("profit_vs_offline")

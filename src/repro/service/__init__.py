@@ -1,0 +1,18 @@
+"""The long-lived admission service layer.
+
+:class:`AdmissionService` wraps an
+:class:`~repro.session.AdmissionSession` behind a request/response API
+(admit / release / tick / query / stats / snapshot / close), journals
+every applied event to an append-only JSON-lines file, and
+warm-restarts from that journal (``AdmissionService.resume``) with
+state identical to the killed instance's.  The transport loops —
+stdin/stdout and single-client TCP — live in
+:mod:`repro.service.server`; the CLI front ends are ``repro serve`` and
+``repro resume``.
+"""
+
+from .server import serve_lines, serve_socket, serve_stdio
+from .service import AdmissionService
+
+__all__ = ["AdmissionService", "serve_lines", "serve_socket",
+           "serve_stdio"]

@@ -1,0 +1,90 @@
+"""Transport loops for :class:`~repro.service.AdmissionService`.
+
+One request per line, one response per line — JSON both ways.  Two
+transports:
+
+* :func:`serve_stdio` — requests on stdin, responses on stdout (the
+  ``repro serve`` default; trivially driveable from a shell pipe or a
+  subprocess harness);
+* :func:`serve_socket` — a single-client TCP loop (``repro serve
+  --port``), same line protocol over the connection.
+
+Both drain requests until the stream ends or a successful ``close``
+request arrives; they never raise on malformed input — bad JSON and
+domain errors come back as ``{"ok": false, ...}`` response lines, so
+one broken client request cannot take the service (and its journal)
+down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+
+from .service import AdmissionService
+
+__all__ = ["serve_lines", "serve_socket", "serve_stdio"]
+
+
+def serve_lines(service: AdmissionService, lines, emit) -> dict | None:
+    """The shared loop: JSON-decode each line, handle, emit the response.
+
+    Returns the ``close`` response when one was served, else ``None``
+    (the input stream ended first — the journal then carries whatever
+    was applied, ready for ``repro resume``).
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            req = json.loads(line)
+        except ValueError as exc:
+            emit({"ok": False, "error": f"bad request JSON: {exc}"})
+            continue
+        if not isinstance(req, dict):
+            emit({"ok": False, "error": "request must be a JSON object"})
+            continue
+        resp = service.handle(req)
+        emit(resp)
+        if resp.get("op") == "close" and resp.get("ok"):
+            return resp
+    return None
+
+
+def serve_stdio(service: AdmissionService, infile=None,
+                outfile=None) -> dict | None:
+    """Serve line requests from ``infile`` (default stdin) to
+    ``outfile`` (default stdout), flushing every response."""
+    infile = sys.stdin if infile is None else infile
+    outfile = sys.stdout if outfile is None else outfile
+
+    def emit(doc: dict) -> None:
+        outfile.write(json.dumps(doc) + "\n")
+        outfile.flush()
+
+    return serve_lines(service, infile, emit)
+
+
+def serve_socket(service: AdmissionService, host: str = "127.0.0.1",
+                 port: int = 0, *, announce=None) -> dict | None:
+    """Serve one TCP client with the line protocol.
+
+    ``port=0`` binds an ephemeral port; ``announce`` (a callable given
+    the bound ``(host, port)``) runs before the blocking accept, so
+    harnesses can discover where to connect.
+    """
+    with socket.create_server((host, port)) as server:
+        if announce is not None:
+            announce(server.getsockname()[:2])
+        conn, _addr = server.accept()
+        with conn:
+            rfile = conn.makefile("r", encoding="utf-8")
+            wfile = conn.makefile("w", encoding="utf-8")
+
+            def emit(doc: dict) -> None:
+                wfile.write(json.dumps(doc) + "\n")
+                wfile.flush()
+
+            return serve_lines(service, rfile, emit)

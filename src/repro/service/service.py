@@ -1,0 +1,357 @@
+"""The long-lived admission service: request/response over a session.
+
+:class:`AdmissionService` turns the :class:`~repro.session.
+AdmissionSession` kernel into a *server-shaped* object: events arrive
+one request at a time from outside the process (stdin, a socket, a
+test driver), every applied event is first written to an append-only
+JSON-lines **admission journal** (:class:`~repro.io.JournalWriter`),
+and a killed service **warm-restarts** from that journal — replaying
+the journaled events into a fresh session reconstructs the exact
+ledger/metrics state, so resuming and finishing a trace produces
+metrics identical to an uninterrupted run (timing fields aside; replay
+decisions are deterministic).
+
+Request/response API (JSON-safe dicts, see :meth:`AdmissionService.
+handle`):
+
+========  ============================================================
+op        meaning
+========  ============================================================
+admit     an arrival: ``{"op": "admit", "demand": 3, "time": 1.5}``
+release   a departure: ``{"op": "release", "demand": 3, "time": 9.0}``
+tick      a clock edge (batching policies may flush)
+submit    a raw trace-schema event: ``{"op": "submit", "event": {...}}``
+query     one demand's admission status
+stats     live counters (events, accepted, profit, utilization, ...)
+snapshot  the currently-admitted set as a solution document
+close     final flush + verify; responds with the full metrics record
+========  ============================================================
+
+With ``shards > 1`` the service runs the **sharded coordinator
+backend**: the policy is bound to the exact global coordinator view of
+a :class:`~repro.sharding.ledger.ShardedLedger` (so every registered
+policy works unmodified, priced against true global load), and every
+admission / eviction / release of a cut-interior demand is mirrored
+into its shard's ledger — the per-shard occupancy views the sharded
+deployment story needs, verified alongside the coordinator at close.
+"""
+
+from __future__ import annotations
+
+from ..io import (
+    JournalWriter,
+    event_from_dict,
+    read_journal,
+    solution_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from ..online.events import Arrival, Departure, EventTrace, Tick
+from ..online.policies import make_policy
+from ..session.kernel import AdmissionSession, Decision, ReplayResult
+
+__all__ = ["AdmissionService"]
+
+
+class AdmissionService:
+    """A journaled, resumable admission session behind a request API.
+
+    Parameters
+    ----------
+    trace:
+        The :class:`~repro.online.events.EventTrace` whose frozen demand
+        population the service admits over.  The service does *not*
+        consume the trace's events — they arrive as requests — but the
+        population, and the provenance echoed into results, come from
+        here (and ``resume`` finishes a partially-served trace's
+        remaining events from it).
+    policy:
+        Registry policy name; ``params`` are its constructor keywords.
+    journal_path:
+        Write-ahead journal location; ``None`` disables journaling
+        (no warm restart, useful for benchmarks).
+    shards / shard_by:
+        ``shards > 1`` selects the sharded coordinator backend.
+    sync:
+        ``fsync`` the journal after every record (power-loss
+        durability; plain flushing already survives a process kill).
+    """
+
+    def __init__(self, trace: EventTrace, policy: str = "greedy-threshold",
+                 params: dict | None = None, *,
+                 journal_path: str | None = None,
+                 shards: int = 1, shard_by: str = "subtree",
+                 sync: bool = False):
+        self.trace = trace
+        self.policy_name = policy
+        self.params = dict(params or {})
+        self.shards = int(shards)
+        self.shard_by = shard_by
+        policy_obj = make_policy(policy, **self.params)
+        self.sharded = None
+        self._local_iids: dict[int, dict[int, int]] = {}
+        if self.shards > 1:
+            from ..sharding.ledger import ShardedLedger
+            from ..sharding.planner import ShardPlanner
+
+            plan = ShardPlanner(shard_by).plan(trace.problem, self.shards)
+            self.sharded = ShardedLedger(trace.problem, plan)
+            self.session = AdmissionSession(
+                trace.problem, policy_obj,
+                ledger=self.sharded.coordinator, trace_meta=trace.meta,
+            )
+        else:
+            self.session = AdmissionSession(trace.problem, policy_obj,
+                                            trace_meta=trace.meta)
+        #: Events applied so far (== journal body length when journaling).
+        self.position = 0
+        # Stream-validity bookkeeping, mirroring EventTrace's invariants:
+        # requests come from outside the process, so the service (not the
+        # kernel) is the layer that must reject duplicate arrivals and
+        # departures of absent demands with an error *response* instead
+        # of a half-applied event.
+        self._arrived: set[int] = set()
+        self._departed: set[int] = set()
+        self._last_time = 0.0
+        self.result: ReplayResult | None = None
+        self.journal: JournalWriter | None = None
+        if journal_path is not None:
+            self.journal = JournalWriter(journal_path, self._header(),
+                                         sync=sync)
+
+    def _header(self) -> dict:
+        """The self-contained journal header (rebuilds this service)."""
+        return {
+            "policy": self.policy_name,
+            "params": dict(self.params),
+            "shards": self.shards,
+            "shard_by": self.shard_by,
+            "trace": trace_to_dict(self.trace),
+        }
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+
+    def _validate(self, ev) -> None:
+        m = self.trace.problem.num_demands
+        if isinstance(ev, (Arrival, Departure)):
+            if not (0 <= ev.demand_id < m):
+                raise ValueError(
+                    f"unknown demand {ev.demand_id} (population has {m})"
+                )
+        if isinstance(ev, Arrival):
+            if ev.demand_id in self._arrived:
+                raise ValueError(f"demand {ev.demand_id} already arrived")
+        elif isinstance(ev, Departure):
+            if ev.demand_id not in self._arrived:
+                raise ValueError(
+                    f"demand {ev.demand_id} departs before arriving"
+                )
+            if ev.demand_id in self._departed:
+                raise ValueError(f"demand {ev.demand_id} already departed")
+
+    def submit_event(self, ev) -> Decision:
+        """Validate, journal (write-ahead), then apply one event."""
+        self._validate(ev)
+        if self.journal is not None:
+            self.journal.append(ev)
+        return self._apply(ev)
+
+    def _apply(self, ev) -> Decision:
+        """Apply an already-journaled (or recovered) event."""
+        decision = self.session.submit(ev)
+        if isinstance(ev, Arrival):
+            self._arrived.add(ev.demand_id)
+        elif isinstance(ev, Departure):
+            self._departed.add(ev.demand_id)
+        self._last_time = max(self._last_time, ev.time)
+        self._mirror(decision)
+        self.position += 1
+        return decision
+
+    # ------------------------------------------------------------------
+    # Sharded-backend mirroring
+    # ------------------------------------------------------------------
+
+    def _local_iid(self, s: int, gid: int) -> int:
+        """Shard ``s``'s local instance id of global instance ``gid``."""
+        if s not in self._local_iids:
+            self._local_iids[s] = {
+                g: l for l, g in enumerate(self.sharded.plan.instance_map(s))
+            }
+        return self._local_iids[s][gid]
+
+    def _mirror(self, decision: Decision) -> None:
+        """Mirror coordinator mutations into the per-shard ledgers.
+
+        The coordinator decided; shard ledgers only track their local
+        occupancy.  Shard loads are always ≤ the coordinator's on the
+        same edges, so every mirrored admission is feasible by
+        construction.  Evictions precede admissions (a preemption frees
+        the route before the newcomer lands).
+        """
+        if self.sharded is None:
+            return
+        plan = self.sharded.plan
+        for d, _gid in decision.evicted:
+            if plan.is_boundary(d):
+                continue
+            s = plan.shard_of(d)
+            led = self.sharded.shard_ledger(s)
+            local = self.sharded.local_demand_id(s, d)
+            if led.is_admitted(local):
+                led.evict(local)
+        for d, gid in decision.admitted:
+            if plan.is_boundary(d):
+                continue
+            s = plan.shard_of(d)
+            self.sharded.shard_ledger(s).admit(self._local_iid(s, gid))
+        if decision.kind == "departure" and decision.demand_id is not None:
+            d = decision.demand_id
+            if not plan.is_boundary(d):
+                s = plan.shard_of(d)
+                led = self.sharded.shard_ledger(s)
+                local = self.sharded.local_demand_id(s, d)
+                if led.is_admitted(local):
+                    led.release(local)
+
+    # ------------------------------------------------------------------
+    # The request/response API
+    # ------------------------------------------------------------------
+
+    def _event_of(self, req: dict):
+        op = req["op"]
+        if op == "submit":
+            return event_from_dict(req["event"])
+        time = float(req.get("time", self._last_time))
+        if op == "admit":
+            return Arrival(time, int(req["demand"]))
+        if op == "release":
+            return Departure(time, int(req["demand"]))
+        if op == "tick":
+            return Tick(time)
+        raise ValueError(f"op {op!r} carries no event")
+
+    def handle(self, req: dict) -> dict:
+        """Serve one request dict; always returns a response dict.
+
+        Domain errors (unknown demands, duplicate arrivals, bad ops,
+        submitting after close) come back as ``{"ok": false, "error":
+        ...}`` responses — the service never half-applies a request.
+        """
+        op = req.get("op")
+        try:
+            if op in ("submit", "admit", "release", "tick"):
+                decision = self.submit_event(self._event_of(req))
+                return {"ok": True, "op": op,
+                        "decision": decision.to_dict()}
+            if op == "query":
+                return {"ok": True, "op": op,
+                        **self.query(int(req["demand"]))}
+            if op == "stats":
+                return {"ok": True, "op": op, "stats": self.stats()}
+            if op == "snapshot":
+                return {"ok": True, "op": op,
+                        "solution": solution_to_dict(self.session.solution())}
+            if op == "close":
+                result = self.close(verify=bool(req.get("verify", True)))
+                return {"ok": True, "op": op,
+                        "metrics": result.metrics.to_dict(),
+                        "policy_stats": result.policy_stats}
+            raise ValueError(
+                f"unknown op {op!r}; want admit/release/tick/submit/"
+                "query/stats/snapshot/close"
+            )
+        except (KeyError, ValueError, TypeError, RuntimeError) as exc:
+            return {"ok": False, "op": op, "error": str(exc)}
+
+    def query(self, demand_id: int) -> dict:
+        """One demand's admission status on the authoritative ledger."""
+        ledger = self.session.ledger
+        if not (0 <= demand_id < self.trace.problem.num_demands):
+            raise ValueError(f"unknown demand {demand_id}")
+        return {
+            "demand": demand_id,
+            "admitted": ledger.is_admitted(demand_id),
+            "instance": ledger.admitted_instance(demand_id),
+            "was_admitted": ledger.was_admitted(demand_id),
+            "was_evicted": ledger.was_evicted(demand_id),
+        }
+
+    def stats(self) -> dict:
+        """Live counters, plus per-shard occupancy in sharded mode."""
+        doc = self.session.snapshot()
+        doc["position"] = self.position
+        doc["policy"] = self.policy_name
+        doc["journaled"] = self.journal is not None
+        if self.sharded is not None:
+            rows = []
+            for s in range(self.sharded.plan.n_shards):
+                led = self.sharded.shard_ledger(s)
+                rows.append({
+                    "shard": s,
+                    "admitted": led.num_admitted,
+                    "utilization": led.utilization(),
+                })
+            doc["shards"] = rows
+            doc["boundary_admitted"] = sum(
+                1 for d, _ in self.session.ledger.admitted_items()
+                if self.sharded.plan.is_boundary(d)
+            )
+        return doc
+
+    def close(self, *, verify: bool = True) -> ReplayResult:
+        """Final flush + verification; closes the journal too."""
+        self.result = self.session.close(verify=verify)
+        if verify and self.sharded is not None:
+            for led in self.sharded._shard_ledgers:
+                if led is not None:
+                    led.verify()
+        if self.journal is not None:
+            self.journal.close()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Warm restart
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def resume(cls, journal_path: str, *,
+               sync: bool = False) -> "AdmissionService":
+        """Rebuild a service from its journal and reattach to it.
+
+        The journaled events are re-applied to a fresh session (replay
+        is deterministic, so the rebuilt ledger/metrics state is exactly
+        the killed service's); a torn final journal line is dropped and
+        the file truncated past it, and new events append to the same
+        journal.  ``service.position`` tells how far the stream got.
+        """
+        header, events, good_bytes = read_journal(journal_path)
+        trace = trace_from_dict(header["trace"])
+        svc = cls(
+            trace, header["policy"], header.get("params") or {},
+            journal_path=None,
+            shards=int(header.get("shards", 1)),
+            shard_by=header.get("shard_by", "subtree"),
+        )
+        for ev in events:
+            svc._apply(ev)
+        svc.journal = JournalWriter(journal_path, sync=sync,
+                                    start_at=good_bytes)
+        return svc
+
+    def run_remaining(self, *, verify: bool = True) -> ReplayResult:
+        """Finish the trace: submit every not-yet-applied trace event.
+
+        Valid when the service's request stream is (a prefix of) the
+        trace's own event sequence — the ``repro serve``/``repro
+        resume`` workflow — since ``position`` then indexes the first
+        outstanding trace event.  Returns the final
+        :class:`~repro.session.kernel.ReplayResult`, which matches an
+        uninterrupted replay of the whole trace exactly (timing fields
+        aside).
+        """
+        for ev in self.trace.events[self.position:]:
+            self.submit_event(ev)
+        return self.close(verify=verify)

@@ -3,9 +3,11 @@
 :class:`ShardedDriver` replays one event trace across ``N`` shards:
 
 * **Phase A** — every shard's local sub-trace (cut-interior demands
-  only, plus ticks) is replayed through an unmodified
-  :func:`~repro.online.driver.replay` with a fresh policy instance, one
-  worker per shard, fanned out over a :mod:`multiprocessing` pool (the
+  only, plus ticks) is replayed through its own
+  :class:`~repro.session.AdmissionSession` (the same kernel the
+  unsharded :func:`~repro.online.driver.replay` consumes) with a fresh
+  policy instance, one worker per shard, fanned out over a
+  :mod:`multiprocessing` pool (the
   same executor pattern as :class:`~repro.runners.replay.ReplayRunner`;
   ``processes <= 1`` runs the workers inline).  Shard edge sets are
   disjoint, so the workers never contend.
@@ -35,21 +37,32 @@ from dataclasses import dataclass, field
 
 from ..core.solution import Solution
 from ..io import trace_from_dict, trace_to_dict
-from ..online.driver import ReplayResult, replay
 from ..online.events import EventTrace
 from ..online.metrics import ReplayMetrics
 from ..online.policies import make_policy
+from ..session.kernel import AdmissionSession, ReplayResult
 from .ledger import BoundaryBroker, ShardedLedger
 from .planner import ShardPlan, ShardPlanner
 
 __all__ = ["ShardedDriver", "ShardedReplayResult"]
 
 
+def _run_shard_session(trace: EventTrace, policy,
+                       verify: bool) -> ReplayResult:
+    """One shard worker: a thin consumer of the session kernel."""
+    session = AdmissionSession(trace.problem, policy,
+                               trace_meta=trace.meta)
+    for ev in trace.events:
+        session.feed(ev)
+    return session.close(verify=verify)
+
+
 def _replay_shard(payload: dict) -> ReplayResult:
-    """Worker body: replay one shard's sub-trace from its serialized form."""
+    """Pool worker body: replay one shard's sub-trace from its
+    serialized form."""
     trace = trace_from_dict(payload["document"])
     policy = make_policy(payload["policy"], **payload["params"])
-    return replay(trace, policy, verify=payload["verify"])
+    return _run_shard_session(trace, policy, verify=payload["verify"])
 
 
 @dataclass
@@ -210,7 +223,8 @@ class ShardedDriver:
             ]
             with mp.Pool(nproc) as pool:
                 return pool.map(_replay_shard, payloads)
-        return [replay(st, make_policy(policy, **params), verify=verify)
+        return [_run_shard_session(st, make_policy(policy, **params),
+                                   verify=verify)
                 for st in subtraces]
 
     @staticmethod
@@ -229,6 +243,15 @@ class ShardedDriver:
         rows = [r.metrics for r in shard_results]
         if boundary_result is not None:
             rows.append(boundary_result.metrics)
+        # The peak-based companion column (history-mode certificates)
+        # merges only where the tightened bound is a single row's: the
+        # multi-shard sum mixes tightened and peak semantics.
+        if boundary_result is not None:
+            peak = boundary_result.metrics.dual_upper_bound_peak
+        elif len(shard_results) == 1:
+            peak = shard_results[0].metrics.dual_upper_bound_peak
+        else:
+            peak = None
         arrivals = trace.num_arrivals
         accepted = sum(m.accepted for m in rows)
         realized = sum(m.realized_profit for m in rows)
@@ -275,4 +298,5 @@ class ShardedDriver:
             latency_p99_us=max(m.latency_p99_us for m in rows),
             latency_mean_us=max(m.latency_mean_us for m in rows),
             dual_upper_bound=cert,
+            dual_upper_bound_peak=peak,
         )

@@ -32,15 +32,10 @@ coordinator (phase B).
 from __future__ import annotations
 
 from ..core.instance import TreeProblem
-from ..online.driver import (
-    ReplayResult,
-    assemble_result,
-    certificate_of,
-    stream_events,
-)
 from ..online.events import EventTrace
 from ..online.policies import AdmissionPolicy
 from ..online.state import CapacityLedger
+from ..session.kernel import AdmissionSession, ReplayResult
 from .planner import ShardPlan
 
 __all__ = ["ShardedLedger", "BoundaryBroker"]
@@ -97,6 +92,12 @@ class ShardedLedger:
     def _local_id(self, s: int, demand_id: int) -> int:
         self.shard_ledger(s)  # ensure the map exists
         return self._local_ids[s][demand_id]
+
+    def local_demand_id(self, s: int, demand_id: int) -> int:
+        """Shard ``s``'s densified id of global demand ``demand_id``
+        (which must be local to ``s``) — the mapping the service layer's
+        shard mirroring uses."""
+        return self._local_id(s, demand_id)
 
     # -- mutations ------------------------------------------------------
 
@@ -220,37 +221,19 @@ class BoundaryBroker:
         """
         ledger = self.sharded.coordinator
         events = self.sharded.plan.boundary_events(trace)
-        policy.bind(ledger)
-        base_accepted = len(ledger.admission_log)
-        base_evicted = len(ledger.eviction_log)
-        base_realized = ledger.realized_profit
-        base_forfeited = ledger.forfeited_profit
-        base_penalty = ledger.penalty_paid
-
-        arrivals, departures, ticks, latencies, elapsed = stream_events(
-            ledger, events, policy
-        )
-
-        if verify:
-            ledger.verify()
+        # A delta-mode session over the coordinator: the baseline capture
+        # and per-event timing semantics are the kernel's, shared with
+        # every other replay path.
+        session = AdmissionSession.over_ledger(ledger, policy,
+                                               trace_meta=trace.meta)
+        for ev in events:
+            session.feed(ev)
+        result = session.close(verify=verify)
         # The certificate is priced on the coordinator over the *full*
         # population, so it upper-bounds the global offline optimum —
         # computed even when no demand crossed a cut (the driver's merge
         # still uses it then).
-        certificate = certificate_of(policy)
-        self.certificate = certificate
+        self.certificate = session.certificate
         if not events:
             return None
-
-        return assemble_result(
-            ledger, policy,
-            events=len(events), arrivals=arrivals,
-            departures=departures, ticks=ticks,
-            latencies=latencies, elapsed=elapsed,
-            trace_meta=trace.meta,
-            certificate=certificate,
-            baseline={"accepted": base_accepted, "evicted": base_evicted,
-                      "realized": base_realized,
-                      "forfeited": base_forfeited,
-                      "penalty": base_penalty},
-        )
+        return result

@@ -149,6 +149,8 @@ def random_tree_problem(
     hmin: float = 0.05,
     access_prob: float = 1.0,
     locality: float | None = None,
+    boundary_fraction: float | None = None,
+    parts: int = 4,
 ) -> TreeProblem:
     """A random tree-network scheduling instance.
 
@@ -173,25 +175,59 @@ def random_tree_problem(
         If given, demand endpoints are biased to be near each other:
         the second endpoint is sampled from a ball of radius
         ``max(1, locality * n)`` hops in network 0.
+    boundary_fraction:
+        Shard-aware locality: target fraction of demands whose route
+        *crosses* a shard-planner cut line, the rest being confined to
+        one planner part.  Network 0 is partitioned exactly the way the
+        ``subtree`` :class:`~repro.sharding.planner.ShardPlanner` would
+        for ``parts`` shards (same balancer cuts, same bin packing), so
+        a plan over ``parts`` shards realizes ≈ this boundary fraction —
+        the knob the sharding scaling experiments actually vary.  A
+        confined demand is local by construction; a crossing demand's
+        endpoints land in parts packed to *different* shards (the rare
+        adjacent-across-the-cut pair can still end up local, so the
+        realized fraction is bounded above by the target's draw).
+        Mutually exclusive with ``locality``; ``r = 1`` recommended
+        (extra networks are partitioned independently and blur the
+        classification).
+    parts:
+        The shard count the ``boundary_fraction`` partition mimics.
     """
+    if boundary_fraction is not None:
+        if locality is not None:
+            raise ValueError(
+                "locality and boundary_fraction are mutually exclusive"
+            )
+        if not (0.0 <= boundary_fraction <= 1.0):
+            raise ValueError("boundary_fraction must lie in [0, 1]")
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
     rng = _rng(seed)
     networks = [
         make_tree(n, topology, seed=rng, network_id=q) for q in range(r)
     ]
     heights = _sample_heights(m, height_regime, rng, hmin)
     profits = np.exp(rng.uniform(0.0, np.log(max(profit_ratio, 1.0 + 1e-9)), size=m))
+    endpoint_of = None
+    if boundary_fraction is not None:
+        endpoint_of = _partition_endpoint_sampler(
+            networks[0], parts, boundary_fraction
+        )
     demands: list[Demand] = []
     for i in range(m):
-        u = int(rng.integers(0, n))
-        if locality is not None:
-            radius = max(1, int(locality * n))
-            ball = _ball(networks[0], u, radius)
-            ball.discard(u)
-            v = int(rng.choice(sorted(ball))) if ball else (u + 1) % n
+        if endpoint_of is not None:
+            u, v = endpoint_of(rng)
         else:
-            v = int(rng.integers(0, n))
-            while v == u:
+            u = int(rng.integers(0, n))
+            if locality is not None:
+                radius = max(1, int(locality * n))
+                ball = _ball(networks[0], u, radius)
+                ball.discard(u)
+                v = int(rng.choice(sorted(ball))) if ball else (u + 1) % n
+            else:
                 v = int(rng.integers(0, n))
+                while v == u:
+                    v = int(rng.integers(0, n))
         demands.append(
             Demand(
                 demand_id=i,
@@ -203,6 +239,50 @@ def random_tree_problem(
         )
     access = _random_access(m, r, access_prob, rng)
     return TreeProblem(n=n, networks=networks, demands=demands, access=access)
+
+
+def _partition_endpoint_sampler(net: TreeNetwork, parts: int,
+                                boundary_fraction: float):
+    """Endpoint sampler targeting a shard-plan boundary fraction.
+
+    Reuses the planner's own balancer-cut vertex groups and bin packing
+    (lazy import — the planner pulls in the online event model), so the
+    generator's notion of "one part" coincides exactly with what
+    ``ShardPlanner("subtree").plan(problem, parts)`` will compute on the
+    same tree.  Returns ``draw(rng) -> (u, v)``.
+    """
+    from ..sharding.planner import _pack_groups, _subtree_vertex_groups
+
+    groups = [sorted(g) for g in _subtree_vertex_groups(net, parts)]
+    shard_of_group = _pack_groups([set(g) for g in groups], parts)
+    # Confined picks need two distinct vertices; crossing picks need two
+    # groups packed to different shards.
+    multi = [gi for gi, g in enumerate(groups) if len(g) >= 2]
+    sizes = np.asarray([len(groups[gi]) for gi in multi], dtype=np.float64)
+    weights = sizes / sizes.sum() if len(multi) else None
+    cross_ok = len({shard_of_group[gi] for gi in range(len(groups))}) > 1
+
+    def draw(rng: np.random.Generator) -> tuple[int, int]:
+        if cross_ok and rng.random() < boundary_fraction:
+            gi = int(rng.integers(0, len(groups)))
+            others = [gj for gj in range(len(groups))
+                      if shard_of_group[gj] != shard_of_group[gi]]
+            gj = int(rng.choice(others))
+            u = int(rng.choice(groups[gi]))
+            v = int(rng.choice(groups[gj]))
+            return u, v
+        if not multi:  # degenerate: every part is a single vertex
+            u = int(rng.integers(0, net.n))
+            v = int(rng.integers(0, net.n))
+            while v == u:
+                v = int(rng.integers(0, net.n))
+            return u, v
+        gi = multi[int(rng.choice(len(multi), p=weights))]
+        u, v = (int(x) for x in rng.choice(groups[gi], size=2,
+                                           replace=False))
+        return u, v
+
+    return draw
 
 
 def _ball(net: TreeNetwork, center: int, radius: int) -> set[int]:

@@ -1,0 +1,113 @@
+"""CI smoke: serve a trace, ``kill -9`` mid-stream, resume, diff metrics.
+
+The end-to-end warm-restart story across real process boundaries:
+
+1. generate + save a short trace, record the plain ``repro replay``
+   metrics for it;
+2. start ``repro serve --journal`` as a subprocess, feed it the first
+   half of the trace's events as stdin requests (reading each response),
+   then SIGKILL it — no shutdown hooks, exactly the failure the journal
+   exists for;
+3. ``repro resume --journal`` in a fresh process: recover, finish the
+   trace, write the final metrics;
+4. diff the resumed metrics (and policy stats) against the plain replay,
+   ignoring only wall-clock timing fields.
+
+Exit code 0 iff the metrics match exactly.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/smoke_service_restart.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+POLICY = "dual-gated"
+EVENTS = 300
+KILL_AFTER = 140
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    sys.path.insert(0, src)
+    from repro.io import event_to_dict, save_trace
+    from repro.online import deterministic_metrics, generate_trace
+
+    def deterministic(doc: dict) -> dict:
+        doc = deterministic_metrics(doc)
+        doc.pop("resumed_at", None)
+        return doc
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = generate_trace("line", events=EVENTS, seed=9,
+                               departure_prob=0.4)
+        trace_path = os.path.join(tmp, "trace.json")
+        save_trace(trace, trace_path)
+        plain_path = os.path.join(tmp, "plain.json")
+        journal = os.path.join(tmp, "smoke.journal")
+        resumed_path = os.path.join(tmp, "resumed.json")
+
+        subprocess.run(
+            [sys.executable, "-m", "repro", "replay", trace_path,
+             "--policy", POLICY, "-o", plain_path],
+            env=env, check=True, stdout=subprocess.DEVNULL,
+        )
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--trace", trace_path,
+             "--policy", POLICY, "--journal", journal],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=env, text=True,
+        )
+        for ev in trace.events[:KILL_AFTER]:
+            server.stdin.write(json.dumps(
+                {"op": "submit", "event": event_to_dict(ev)}) + "\n")
+            server.stdin.flush()
+            resp = json.loads(server.stdout.readline())
+            if not resp.get("ok"):
+                print(f"FAIL: server refused an event: {resp}")
+                server.kill()
+                return 1
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        print(f"served {KILL_AFTER}/{len(trace.events)} events, "
+              "killed the service with SIGKILL")
+
+        subprocess.run(
+            [sys.executable, "-m", "repro", "resume", "--journal", journal,
+             "-o", resumed_path],
+            env=env, check=True, stdout=subprocess.DEVNULL,
+        )
+        with open(plain_path) as fh:
+            plain = json.load(fh)
+        with open(resumed_path) as fh:
+            resumed = json.load(fh)
+        if resumed.get("resumed_at") != KILL_AFTER:
+            print(f"FAIL: expected resume at {KILL_AFTER}, "
+                  f"got {resumed.get('resumed_at')}")
+            return 1
+        a, b = deterministic(plain), deterministic(resumed)
+        if a != b:
+            diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+            print(f"FAIL: resumed metrics diverge on {sorted(diff)}")
+            for k in sorted(diff):
+                print(f"  {k}: plain={a.get(k)!r} resumed={b.get(k)!r}")
+            return 1
+        print(f"OK: warm restart reproduced the uninterrupted replay "
+              f"(profit {plain['realized_profit']:.2f}, "
+              f"{plain['accepted']}/{plain['arrivals']} accepted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

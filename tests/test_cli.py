@@ -285,6 +285,118 @@ class TestShardedReplay:
         assert "OPT≤(dual)" in capsys.readouterr().out
 
 
+class TestServeResume:
+    @pytest.fixture
+    def trace_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        rc = main(["replay", "--events", "120", "--seed", "4",
+                   "--save-trace", str(path)])
+        assert rc == 0
+        return str(path)
+
+    def _requests(self, trace_path, upto=None, close=False):
+        from repro.io import event_to_dict, load_trace
+
+        events = load_trace(trace_path).events[:upto]
+        lines = [json.dumps({"op": "submit", "event": event_to_dict(ev)})
+                 for ev in events]
+        if close:
+            lines.append(json.dumps({"op": "close"}))
+        return "\n".join(lines) + "\n"
+
+    def test_serve_full_trace_over_stdin(self, trace_json, tmp_path,
+                                         capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            self._requests(trace_json, close=True)
+        ))
+        assert main(["serve", "--trace", trace_json, "--policy",
+                     "dual-gated",
+                     "--journal", str(tmp_path / "j.log")]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(l) for l in captured.out.splitlines()]
+        assert all(r["ok"] for r in responses)
+        assert responses[-1]["op"] == "close"
+        assert "serving" in captured.err
+
+    def test_kill_then_resume_matches_plain_replay(
+            self, trace_json, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.online.metrics import deterministic_metrics
+
+        plain_path = tmp_path / "plain.json"
+        assert main(["replay", trace_json, "--policy", "dual-gated",
+                     "-o", str(plain_path)]) == 0
+        capsys.readouterr()
+        journal = str(tmp_path / "j.log")
+        # Serve only a prefix; the input stream ending plays the kill.
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            self._requests(trace_json, upto=50)
+        ))
+        assert main(["serve", "--trace", trace_json, "--policy",
+                     "dual-gated", "--journal", journal]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "resumed.json"
+        assert main(["resume", "--journal", journal,
+                     "-o", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert "recovered 50 journaled events" in captured.err
+        assert "dual-gated" in captured.out
+        plain = json.load(open(plain_path))
+        resumed = json.load(open(out_path))
+        assert resumed.pop("resumed_at") == 50
+        assert deterministic_metrics(
+            {k: v for k, v in resumed.items()
+             if k not in ("policy_stats", "trace_meta")}
+        ) == deterministic_metrics(
+            {k: v for k, v in plain.items()
+             if k not in ("policy_stats", "trace_meta")}
+        )
+        assert resumed["policy_stats"] == plain["policy_stats"]
+
+    def test_serve_policy_args_and_bad_policy_arg(self, trace_json,
+                                                  tmp_path, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", "--trace", trace_json, "--policy",
+                     "dual-gated", "--policy-arg", "eta=1.5"]) == 0
+        with pytest.raises(SystemExit, match="bad parameters"):
+            main(["serve", "--trace", trace_json, "--policy",
+                  "dual-gated", "--policy-arg", "stiffness=2"])
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(["serve", "--trace", trace_json, "--policy-arg", "eta"])
+
+    def test_resume_missing_journal_friendly(self, tmp_path):
+        with pytest.raises(SystemExit, match="resume"):
+            main(["resume", "--journal", str(tmp_path / "nope.log")])
+
+    def test_serve_sharded_backend(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        trace_path = tmp_path / "tree_trace.json"
+        assert main(["replay", "--events", "100", "--seed", "5",
+                     "--kind", "tree", "--save-trace",
+                     str(trace_path)]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            self._requests(str(trace_path), close=True)
+        ))
+        assert main(["serve", "--trace", str(trace_path),
+                     "--shards", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "2 shards" in captured.err
+        assert json.loads(captured.out.splitlines()[-1])["ok"]
+
+    def test_history_certificate_via_policy_arg(self, trace_json, capsys):
+        assert main(["replay", trace_json, "--policy", "dual-gated",
+                     "--policy-arg", "history=true"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT≤(dual)" in out and "OPT≤(peak)" in out
+
+
 class TestSweepPreemption:
     @pytest.fixture
     def trace_json(self, tmp_path):

@@ -169,6 +169,64 @@ class TestTraceRoundTrip:
             trace_from_dict(doc)
 
 
+class TestAtomicSaves:
+    """save_* must never leave a truncated artifact, even when killed
+    (simulated by a serializer that blows up mid-write)."""
+
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        import json as _json
+
+        p = random_tree_problem(n=10, m=6, r=1, seed=5)
+        path = tmp_path / "problem.json"
+        save_problem(p, str(path))
+        original = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("killed mid-write")
+
+        monkeypatch.setattr(_json, "dump", boom)
+        with pytest.raises(RuntimeError):
+            save_problem(random_tree_problem(n=12, m=4, r=1, seed=6),
+                         str(path))
+        # The original document survives intact and no temp litter stays.
+        assert path.read_text() == original
+        assert [f.name for f in tmp_path.iterdir()] == ["problem.json"]
+
+    def test_save_into_missing_file_cleans_up_on_failure(
+            self, tmp_path, monkeypatch):
+        import json as _json
+
+        monkeypatch.setattr(
+            _json, "dump",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")))
+        path = tmp_path / "fresh.json"
+        with pytest.raises(RuntimeError):
+            save_problem(random_tree_problem(n=8, m=3, r=1, seed=1),
+                         str(path))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_all_savers_replace_atomically(self, tmp_path):
+        """Every saver goes through the temp+replace path and yields a
+        loadable document (trace and solution included)."""
+        from repro import solve_tree_unit
+        from repro.online import poisson_trace
+
+        p = random_tree_problem(n=10, m=6, r=1, seed=3)
+        sol = solve_tree_unit(p, epsilon=0.2, seed=1)
+        tr = poisson_trace("line", events=30, seed=2)
+        for saver, loader, obj in [
+            (save_problem, load_problem, p),
+            (save_solution, lambda q, pr=p: load_solution(q, pr), sol),
+            (save_trace, load_trace, tr),
+        ]:
+            path = tmp_path / "artifact.json"
+            saver(obj, str(path))
+            saver(obj, str(path))  # overwrite goes through replace too
+            loader(str(path))
+            assert [f.name for f in tmp_path.iterdir()] == ["artifact.json"]
+            path.unlink()
+
+
 class TestSolutionRoundTrip:
     def test_tree_solution(self, tmp_path):
         p = random_tree_problem(n=14, m=10, r=2, seed=7)

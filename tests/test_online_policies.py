@@ -276,3 +276,72 @@ class TestDualPriceCertificate:
         assert res.metrics.accepted > 0
         assert float(np.max(policy._peak)) >= \
             policy.ledger.active.max_load() - 1e-12
+
+
+class TestHistoryCertificate:
+    """Opt-in per-edge price histories tighten the dual upper bound."""
+
+    def test_history_bound_valid_and_no_looser(self):
+        tr = poisson_trace("line", events=250, seed=9, departure_prob=0.6,
+                           rate=4.0)
+        res = replay(tr, make_policy("dual-gated", history=True))
+        cert = res.policy_stats["dual_certificate"]
+        # The tightened bound is the min over a family that includes the
+        # peak assignment, so it can only improve on it — and every
+        # member is a valid dual, so it still caps the exact optimum.
+        assert cert["upper_bound"] <= cert["peak_upper_bound"] + 1e-12
+        assert cert["history_points"] >= 1
+        opt = offline_optimum(tr, "exact")
+        assert cert["upper_bound"] >= opt - 1e-6
+        assert res.metrics.dual_upper_bound == cert["upper_bound"]
+        assert res.metrics.dual_upper_bound_peak == \
+            cert["peak_upper_bound"]
+
+    def test_history_actually_tightens_under_departures(self):
+        """Heavy departures leave the peak duals priced for load that is
+        long gone; some mid-trajectory snapshot must beat them."""
+        tr = poisson_trace("line", events=400, seed=10,
+                           departure_prob=0.9, rate=8.0)
+        res = replay(tr, make_policy("dual-gated", history=True))
+        cert = res.policy_stats["dual_certificate"]
+        assert cert["upper_bound"] < cert["peak_upper_bound"]
+
+    def test_history_off_by_default(self):
+        tr = poisson_trace("line", events=80, seed=11, departure_prob=0.3)
+        res = replay(tr, make_policy("dual-gated"))
+        cert = res.policy_stats["dual_certificate"]
+        assert "peak_upper_bound" not in cert
+        assert res.metrics.dual_upper_bound_peak is None
+
+    def test_history_does_not_change_decisions(self):
+        tr = poisson_trace("line", events=200, seed=12, departure_prob=0.4)
+        plain = replay(tr, make_policy("dual-gated"))
+        hist = replay(tr, make_policy("dual-gated", history=True))
+        assert plain.admission_log == hist.admission_log
+
+    def test_snapshot_thinning_bounds_memory(self):
+        from repro.online.policies import DualGated
+
+        tr = poisson_trace("line", events=3000, seed=13,
+                           departure_prob=0.5, rate=8.0)
+        policy = make_policy("dual-gated", history=True)
+        res = replay(tr, policy)
+        assert res.metrics.accepted > DualGated._MAX_SNAPSHOTS / 2
+        assert len(policy._snapshots) <= DualGated._MAX_SNAPSHOTS
+
+    def test_preemptive_variant_supports_history(self):
+        tr = poisson_trace("line", events=200, seed=14,
+                           departure_prob=0.3, rate=4.0)
+        res = replay(tr, make_policy("preempt-dual-gated", history=True,
+                                     penalty=0.1))
+        cert = res.policy_stats["dual_certificate"]
+        assert cert["upper_bound"] <= cert["peak_upper_bound"] + 1e-12
+
+    def test_report_renders_both_columns(self):
+        from repro.report import render_replay
+
+        tr = poisson_trace("line", events=120, seed=15,
+                           departure_prob=0.5)
+        res = replay(tr, make_policy("dual-gated", history=True))
+        table = render_replay([res.metrics])
+        assert "OPT≤(dual)" in table and "OPT≤(peak)" in table

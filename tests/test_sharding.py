@@ -21,6 +21,7 @@ import pytest
 
 from repro.io import load_trace
 from repro.online import generate_trace, make_policy, replay
+from repro.online.metrics import deterministic_metrics as _deterministic
 from repro.sharding import (
     ShardedDriver,
     ShardedLedger,
@@ -38,17 +39,6 @@ POLICIES = [
     ("preempt-density", {"factor": 1.2}),
     ("preempt-dual-gated", {"penalty": 0.1}),
 ]
-
-_TIMING_FIELDS = ("elapsed_s", "events_per_sec", "latency_p50_us",
-                  "latency_p90_us", "latency_p99_us", "latency_mean_us")
-
-
-def _deterministic(metrics) -> dict:
-    """A metrics dict with every wall-clock-dependent field dropped."""
-    doc = metrics.to_dict()
-    for k in _TIMING_FIELDS:
-        doc.pop(k)
-    return doc
 
 
 @pytest.fixture(scope="module")

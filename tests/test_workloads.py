@@ -89,6 +89,66 @@ class TestRandomTreeProblem:
         assert mean_len(near) < mean_len(far)
 
 
+class TestBoundaryFractionKnob:
+    """The shard-aware generator targets the plan's boundary fraction
+    directly — the variable the sharding scaling experiments vary."""
+
+    def _realized(self, problem, parts):
+        from repro.sharding import ShardPlanner
+
+        plan = ShardPlanner("subtree").plan(problem, parts)
+        return plan.boundary_count / problem.num_demands
+
+    def test_zero_target_is_fully_local(self):
+        p = random_tree_problem(n=200, m=300, r=1, seed=0,
+                                boundary_fraction=0.0, parts=4)
+        assert self._realized(p, 4) == 0.0
+
+    @pytest.mark.parametrize("target", [0.05, 0.15])
+    def test_target_tracked(self, target):
+        p = random_tree_problem(n=300, m=400, r=1, seed=1,
+                                boundary_fraction=target, parts=4)
+        realized = self._realized(p, 4)
+        # Confined demands are local by construction, so the realized
+        # fraction tracks the binomial draw of crossing demands.
+        assert abs(realized - target) < 0.05
+        assert realized > 0.0
+
+    def test_monotone_in_target(self):
+        lo = random_tree_problem(n=300, m=400, r=1, seed=2,
+                                 boundary_fraction=0.05, parts=4)
+        hi = random_tree_problem(n=300, m=400, r=1, seed=2,
+                                 boundary_fraction=0.5, parts=4)
+        assert self._realized(lo, 4) < self._realized(hi, 4)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            random_tree_problem(n=20, m=5, seed=0, locality=0.1,
+                                boundary_fraction=0.1)
+        with pytest.raises(ValueError, match="boundary_fraction"):
+            random_tree_problem(n=20, m=5, seed=0, boundary_fraction=1.5)
+        with pytest.raises(ValueError, match="parts"):
+            random_tree_problem(n=20, m=5, seed=0, boundary_fraction=0.1,
+                                parts=0)
+
+    def test_tiny_tree_degenerates_gracefully(self):
+        # More parts than vertices: singleton groups everywhere.
+        p = random_tree_problem(n=3, m=10, r=1, seed=3,
+                                boundary_fraction=0.2, parts=8)
+        assert p.num_demands == 10
+        for d in p.demands:
+            assert d.u != d.v
+
+    def test_trace_generator_passthrough(self):
+        from repro.online import generate_trace
+
+        tr = generate_trace("tree", events=120, seed=4,
+                            departure_prob=0.2,
+                            workload={"n": 96, "boundary_fraction": 0.1,
+                                      "parts": 2})
+        assert tr.num_arrivals == tr.problem.num_demands
+
+
 class TestRandomLineProblem:
     def test_lengths_in_range(self):
         p = random_line_problem(n_slots=40, m=30, r=1, seed=0, min_len=3,
