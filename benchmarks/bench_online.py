@@ -98,56 +98,144 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
     return report
 
 
+#: Batch size of the ``feed`` op rows (matches run_remaining's default).
+FEED_BATCH = 256
+
+#: Group-commit window of the fast-durability rows.
+SYNC_WINDOW = 64
+
+
 def run_service_bench(smoke: bool = False) -> dict:
     """Sustained request/response throughput vs in-process replay.
 
-    Every event crosses the service's dict protocol (``{"op":
-    "submit", ...}`` in, a decision document out); the journaled run
-    additionally write-ahead-logs each event to a temp file.  The
+    Every event crosses the service's dict protocol; journaled rows
+    additionally write-ahead-log each event to a temp file.  The
     ``overhead`` ratios are (in-process rate) / (service rate) — how
     much the request/response framing and the journal cost on top of
-    the raw kernel.
+    the raw kernel.  The rows walk the durability fast path one
+    optimization at a time: JSON-lines journal committed per record
+    (the PR-5 baseline), the binary codec, a group-commit window, and
+    finally the batched ``feed`` op — whose ratio is recorded as
+    ``journal_overhead_ratio``, the number the CI gate tracks
+    (target <= 1.3x, fail > 1.5x).
+
+    A ``resume`` section times the warm restart against the same
+    journal three ways — full-history replay, checkpoint + tail, and
+    compacted — showing restart cost proportional to the
+    post-checkpoint tail, not total journal length.
     """
     import os
     import tempfile
+    import time
 
-    from repro.io import event_to_dict
+    from repro.io import event_to_dict, scan_journal
     from repro.online import generate_trace, make_policy, replay
     from repro.service import AdmissionService
 
     events = 2_000 if smoke else 20_000
+    reps = 3  # best-of-N: the rates here gate CI, so damp scheduler noise
     trace = generate_trace(
         "line", events=events, process="poisson", seed=0,
         departure_prob=0.35, workload={"n_slots": max(512, events // 8)},
     )
-    base = replay(trace, make_policy("greedy-threshold"))
-    requests = [{"op": "submit", "event": event_to_dict(ev)}
-                for ev in trace.events]
+    event_dicts = [event_to_dict(ev) for ev in trace.events]
+    submit_reqs = [{"op": "submit", "event": d} for d in event_dicts]
+    feed_reqs = [{"op": "feed", "events": event_dicts[i:i + FEED_BATCH]}
+                 for i in range(0, len(event_dicts), FEED_BATCH)]
+    configs = [
+        ("service", False, {}, submit_reqs),
+        ("service+journal", True, {}, submit_reqs),
+        ("service+journal-binary", True, {"fmt": "binary"}, submit_reqs),
+        ("service+group-commit", True,
+         {"fmt": "binary", "sync_window": SYNC_WINDOW}, submit_reqs),
+        ("service+batched-feed", True,
+         {"fmt": "binary", "sync_window": SYNC_WINDOW}, feed_reqs),
+    ]
     out: dict = {
         "events": len(trace.events),
         "policy": "greedy-threshold",
-        "in_process_events_per_sec": base.metrics.events_per_sec,
+        "feed_batch": FEED_BATCH,
+        "sync_window": SYNC_WINDOW,
+        "reps": reps,
         "rows": [],
     }
+    # Interleave the baseline and every config within each rep (rather
+    # than measuring them minutes apart) so machine-load drift hits all
+    # rows of a rep equally and best-of-N compares like with like.
+    base_rate = 0.0
+    rates = {label: 0.0 for label, *_ in configs}
+    results = {}
     with tempfile.TemporaryDirectory() as tmp:
-        for label, journal in (("service", None),
-                               ("service+journal",
-                                os.path.join(tmp, "bench.journal"))):
-            svc = AdmissionService(trace, "greedy-threshold",
-                                   journal_path=journal)
-            for req in requests:
-                resp = svc.handle(req)
-                assert resp["ok"], resp
-            result = svc.close()
-            rate = result.metrics.events_per_sec
-            out["rows"].append({
+        for rep in range(reps):
+            base_rate = max(
+                base_rate,
+                replay(trace,
+                       make_policy("greedy-threshold")).metrics.events_per_sec,
+            )
+            for i, (label, journaled, kwargs, requests) in enumerate(configs):
+                journal = (os.path.join(tmp, f"bench-{i}-{rep}.journal")
+                           if journaled else None)
+                svc = AdmissionService(trace, "greedy-threshold",
+                                       journal_path=journal, **kwargs)
+                # Time the request loop itself: sustained throughput,
+                # not per-run setup/teardown.
+                t0 = time.perf_counter()
+                for req in requests:
+                    resp = svc.handle(req)
+                    assert resp["ok"], resp
+                dt = time.perf_counter() - t0
+                results[label] = svc.close()
+                rates[label] = max(rates[label], len(trace.events) / dt)
+    out["in_process_events_per_sec"] = base_rate
+    for label, *_ in configs:
+        rate = rates[label]
+        out["rows"].append({
+            "mode": label,
+            "events_per_sec": rate,
+            "overhead": base_rate / rate if rate > 0 else None,
+            "accepted": results[label].metrics.accepted,
+            "realized_profit": results[label].metrics.realized_profit,
+        })
+    out["journal_overhead_ratio"] = out["rows"][-1]["overhead"]
+
+    # Warm-restart cost: full replay vs checkpoint + tail vs compacted.
+    def build(path: str, checkpoint_every: int = 0) -> None:
+        svc = AdmissionService(trace, "greedy-threshold", journal_path=path,
+                               fmt="binary", sync_window=SYNC_WINDOW,
+                               checkpoint_every=checkpoint_every)
+        # Feed in wire-sized batches so checkpoints land on cadence
+        # (a checkpoint fires after the batch that crosses it).
+        for i in range(0, len(trace.events), FEED_BATCH):
+            svc.feed_events(trace.events[i:i + FEED_BATCH])
+        svc.journal.close()  # no session close: the killed-writer shape
+
+    resume_rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        # A single checkpoint at the 3/4 mark leaves a quarter-length
+        # tail — between full replay (whole history) and compacted
+        # (empty tail), showing resume cost tracks the tail.
+        three_quarters = max((3 * len(trace.events)) // 4, 1)
+        shapes = [("full-replay", 0, False),
+                  ("checkpoint+tail", three_quarters, False),
+                  ("compacted", 0, True)]
+        for label, every, compacted in shapes:
+            path = os.path.join(tmp, f"{label}.journal")
+            build(path, checkpoint_every=every)
+            if compacted:
+                AdmissionService.compact(path)
+            _h, ckpt, tail, _g, _f = scan_journal(path)
+            t0 = time.perf_counter()
+            svc = AdmissionService.resume(path)
+            dt = time.perf_counter() - t0
+            assert svc.position == len(trace.events)
+            svc.journal.close()
+            resume_rows.append({
                 "mode": label,
-                "events_per_sec": rate,
-                "overhead": (base.metrics.events_per_sec / rate
-                             if rate > 0 else None),
-                "accepted": result.metrics.accepted,
-                "realized_profit": result.metrics.realized_profit,
+                "tail_events": len(tail),
+                "checkpointed": ckpt is not None,
+                "resume_s": dt,
             })
+    out["resume"] = {"events": len(trace.events), "rows": resume_rows}
     return out
 
 
@@ -215,6 +303,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="one small trace, seconds instead of minutes")
     ap.add_argument("-o", "--output", default="BENCH_online.json")
+    ap.add_argument("--check-overhead", action="store_true",
+                    help="exit nonzero if the journaled fast path "
+                         "(binary + group commit + batched feed) runs "
+                         "slower than 1.5x the in-process replay rate")
     args = ap.parse_args(argv)
     report = run_online_bench(smoke=args.smoke, out_path=args.output)
     for events, case in report["cases"].items():
@@ -233,8 +325,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"service ({service['events']} events, "
           f"{service['in_process_events_per_sec']:.0f} ev/s in-process):")
     for row in service["rows"]:
-        print(f"  {row['mode']:<17} {row['events_per_sec']:>9.0f} ev/s  "
+        print(f"  {row['mode']:<24} {row['events_per_sec']:>9.0f} ev/s  "
               f"overhead x{row['overhead']:.2f}")
+    ratio = service["journal_overhead_ratio"]
+    print(f"  journal_overhead_ratio x{ratio:.2f} "
+          f"(fast path vs in-process; target <= 1.3, gate at 1.5)")
+    print("resume (warm restart of "
+          f"{service['resume']['events']} journaled events):")
+    for row in service["resume"]["rows"]:
+        print(f"  {row['mode']:<16} tail {row['tail_events']:>6} events  "
+              f"{1e3 * row['resume_s']:>8.1f} ms")
     sharding = report["sharding"]
     print(f"sharding ({sharding['trace']['events']} events, poisson tree, "
           f"{sharding['unsharded_events_per_sec']:.0f} ev/s unsharded):")
@@ -244,6 +344,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{100 * row['boundary_fraction']:.1f}%  "
               f"wall {row['wall_events_per_sec']:.0f} ev/s")
     print(f"written to {args.output}")
+    if args.check_overhead and ratio > 1.5:
+        print(f"FAIL: journal_overhead_ratio x{ratio:.2f} exceeds the "
+              f"1.5x gate", file=sys.stderr)
+        return 1
     return 0
 
 

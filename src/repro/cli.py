@@ -9,7 +9,10 @@ python -m repro bench     --smoke
 python -m repro replay    --policy dual-gated --events 10000
 python -m repro replay    trace.json --shards 4 --shard-by subtree
 python -m repro serve     --trace trace.json --policy dual-gated --journal j.log
+python -m repro serve     --trace trace.json --journal j.bin --format binary \
+                          --sync-window 64 --checkpoint-every 5000
 python -m repro resume    --journal j.log -o metrics.json
+python -m repro compact   --journal j.log
 python -m repro sweep-preemption --factors 1.2,2.0 --penalties 0,0.25
 python -m repro decompose --topology caterpillar --n 32
 ```
@@ -24,8 +27,11 @@ policy (generating and optionally saving the trace on the fly), and
 with ``--shards N`` fans it across the sharded admission engine;
 ``serve`` runs the long-lived admission service — JSON-lines requests
 on stdin (or one TCP client with ``--port``), a write-ahead admission
-journal, and an optional sharded-coordinator backend — and ``resume``
-warm-restarts a killed service from its journal and finishes the trace;
+journal (JSON-lines or binary, group-committed, optionally
+checkpointed), and an optional sharded-coordinator backend —
+``resume`` warm-restarts a killed service from its journal (seeking to
+the last checkpoint and replaying only the tail) and finishes the
+trace, and ``compact`` rewrites a journal as header + one checkpoint;
 ``sweep-preemption`` grids preemption factor × penalty over saved
 traces and reports where preemption stops paying; ``decompose`` prints
 the Section 4 decomposition table.
@@ -321,8 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
              "demand population",
         epilog="request protocol: one JSON object per stdin line, e.g. "
                '{"op": "admit", "demand": 3, "time": 1.5} — ops: admit, '
-               "release, tick, submit, query, stats, snapshot, close; "
-               "one JSON response per line on stdout",
+               "release, tick, submit, feed (batched events), query, "
+               "stats, snapshot, close; one JSON response per line on "
+               "stdout",
     )
     srv.add_argument("--trace", required=True,
                      help="trace JSON holding the frozen demand "
@@ -348,15 +355,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="serve one TCP client on this port (0 = "
                           "ephemeral) instead of stdin/stdout")
     srv.add_argument("--sync", action="store_true",
-                     help="fsync the journal after every record "
+                     help="fsync the journal at every commit "
                           "(power-loss durability; slower)")
+    from .io import JOURNAL_FORMATS
+
+    srv.add_argument("--format", default="jsonl", choices=JOURNAL_FORMATS,
+                     dest="journal_format",
+                     help="journal codec (default: jsonl; binary is "
+                          "smaller and faster)")
+    srv.add_argument("--sync-window",
+                     type=_int_arg("sync-window", minimum=1), default=1,
+                     help="group commit: flush/fsync the journal every N "
+                          "buffered events (default: 1 = per record)")
+    srv.add_argument("--sync-interval-ms",
+                     type=_float_arg("sync-interval-ms", lo=1e-6),
+                     default=None,
+                     help="group commit: also commit once the oldest "
+                          "buffered event is this many ms old")
+    srv.add_argument("--checkpoint-every",
+                     type=_int_arg("checkpoint-every", minimum=0),
+                     default=0,
+                     help="append a state checkpoint to the journal "
+                          "every N events, so resume replays only the "
+                          "tail (default: 0 = off)")
 
     res = sub.add_parser(
         "resume",
         help="warm-restart a killed service from its admission journal",
     )
     res.add_argument("--journal", required=True,
-                     help="journal written by `repro serve --journal`")
+                     help="journal written by `repro serve --journal` "
+                          "(either codec, auto-detected)")
     res.add_argument("--serve", action="store_true",
                      help="keep serving requests on stdin after the "
                           "restart instead of finishing the trace")
@@ -365,9 +394,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="with --serve: serve one TCP client on this "
                           "port instead of stdin")
     res.add_argument("--sync", action="store_true",
-                     help="fsync the journal after every record")
+                     help="fsync the journal at every commit")
+    res.add_argument("--sync-window",
+                     type=_int_arg("sync-window", minimum=1), default=1,
+                     help="group-commit window for appended events "
+                          "(default: 1)")
+    res.add_argument("--sync-interval-ms",
+                     type=_float_arg("sync-interval-ms", lo=1e-6),
+                     default=None,
+                     help="group-commit interval for appended events")
+    res.add_argument("--checkpoint-every",
+                     type=_int_arg("checkpoint-every", minimum=0),
+                     default=None,
+                     help="override the checkpoint cadence recorded in "
+                          "the journal header")
     res.add_argument("-o", "--output", default=None,
                      help="write the final metrics JSON here")
+
+    cpt = sub.add_parser(
+        "compact",
+        help="rewrite an admission journal as header + one checkpoint",
+        epilog="resume then restores the checkpoint instead of replaying "
+               "the whole history; safe on journals with torn tails",
+    )
+    cpt.add_argument("--journal", required=True,
+                     help="journal to compact (replaced atomically)")
+    cpt.add_argument("--format", default=None, choices=JOURNAL_FORMATS,
+                     dest="journal_format",
+                     help="convert the codec while compacting "
+                          "(default: keep the existing one)")
 
     swp_p = sub.add_parser(
         "sweep-preemption",
@@ -683,6 +738,9 @@ def _serve(args) -> int:
             trace, args.policy, policy_kwargs,
             journal_path=args.journal,
             shards=args.shards, shard_by=args.shard_by, sync=args.sync,
+            fmt=args.journal_format, sync_window=args.sync_window,
+            sync_interval_ms=args.sync_interval_ms,
+            checkpoint_every=args.checkpoint_every,
         )
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}")
@@ -708,7 +766,12 @@ def _resume(args) -> int:
     from .service import AdmissionService, serve_socket, serve_stdio
 
     try:
-        service = AdmissionService.resume(args.journal, sync=args.sync)
+        service = AdmissionService.resume(
+            args.journal, sync=args.sync,
+            sync_window=args.sync_window,
+            sync_interval_ms=args.sync_interval_ms,
+            checkpoint_every=args.checkpoint_every,
+        )
     except (OSError, ValueError) as exc:
         raise SystemExit(f"resume: {exc}")
     resumed_at = service.position
@@ -735,6 +798,21 @@ def _resume(args) -> int:
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2)
         print(f"metrics written to {args.output}")
+    return 0
+
+
+def _compact(args) -> int:
+    """The ``compact`` subcommand: fold a journal into one checkpoint."""
+    from .service import AdmissionService
+
+    try:
+        info = AdmissionService.compact(args.journal,
+                                        fmt=args.journal_format)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"compact: {exc}")
+    print(f"compacted {args.journal}: {info['position']} events folded "
+          f"into one checkpoint, {info['bytes_before']} -> "
+          f"{info['bytes_after']} bytes ({info['format']})")
     return 0
 
 
@@ -854,6 +932,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _replay,
         "serve": _serve,
         "resume": _resume,
+        "compact": _compact,
         "sweep-preemption": _sweep_preemption,
         "decompose": _decompose,
     }

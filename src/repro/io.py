@@ -13,23 +13,44 @@ temporary file in the destination directory and moved into place with
 truncated JSON artifact behind.
 
 The **admission journal** is the service layer's durability log: an
-append-only JSON-lines file whose first line is a self-contained header
-(policy, parameters, the full trace document) and whose every further
-line is one submitted event in the trace event schema.  Because replay
-decisions are deterministic, re-submitting the journaled events into a
-fresh :class:`~repro.session.AdmissionSession` reconstructs the exact
-ledger and metrics state — the warm-restart path.  :func:`read_journal`
-tolerates a truncated final line (the one a ``kill -9`` can leave
-behind) and reports the byte offset of the last intact record so the
-writer can resume appending cleanly.
+append-only file whose first record is a self-contained header (policy,
+parameters, the full trace document) and whose every further record is
+one submitted event in the trace event schema, optionally interleaved
+with **checkpoint** records (serialized session state, so a resume can
+seek past the prefix instead of replaying it).  Two on-disk codecs
+share one record model:
+
+* ``jsonl`` — one JSON document per line, human-readable (the PR-5
+  format, still the default);
+* ``binary`` — a magic+version preamble followed by length-prefixed
+  records; events are struct-packed to 18 bytes instead of ~50 of
+  JSON text.  The format is auto-detected on read, so readers never
+  need to be told.
+
+Because replay decisions are deterministic, re-submitting the
+journaled events into a fresh :class:`~repro.session.AdmissionSession`
+reconstructs the exact ledger and metrics state — the warm-restart
+path.  Both codecs tolerate a torn *final* record (the one a ``kill
+-9`` can leave behind) and report the byte offset of the last intact
+record so the writer can resume appending cleanly; corruption anywhere
+else is an error.
+
+:class:`JournalWriter` supports **group commit**: records buffer in
+memory and are written + (optionally) fsynced together every
+``sync_window`` events or ``sync_interval_ms`` milliseconds, and
+``commit_seq`` exposes the highest event sequence number that has
+actually reached the file — the "durable" watermark the service layer
+acknowledges to clients, as distinct from "accepted".
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
 import tempfile
-from typing import Any
+import time
+from typing import Any, Iterator
 
 from .core.demand import Demand, LineDemandInstance, TreeDemandInstance, WindowDemand
 from .core.instance import LineProblem, TreeProblem
@@ -54,6 +75,9 @@ __all__ = [
     "load_trace",
     "JournalWriter",
     "read_journal",
+    "iter_journal",
+    "scan_journal",
+    "JOURNAL_FORMATS",
 ]
 
 FORMAT_VERSION = 1
@@ -197,9 +221,29 @@ def solution_from_dict(doc: dict, problem) -> Solution:
     return Solution(selected=selected, stats=dict(doc.get("stats", {})))
 
 
+_EVENT_TYPES: tuple | None = None
+
+
+def _event_types() -> tuple:
+    """``(Arrival, Departure, Tick)``, imported once on first use.
+
+    Lazy because the ``online`` package imports this module back: a
+    top-level import here would cycle through ``online/__init__`` while
+    ``repro.io`` is still half-initialized.  The codec hot paths call
+    this per event, so it must stay a cached-global lookup rather than
+    a per-call ``import``.
+    """
+    global _EVENT_TYPES
+    if _EVENT_TYPES is None:
+        from .online.events import Arrival, Departure, Tick
+
+        _EVENT_TYPES = (Arrival, Departure, Tick)
+    return _EVENT_TYPES
+
+
 def event_to_dict(ev) -> dict:
     """Serialize one Arrival/Departure/Tick (the trace event schema)."""
-    from .online.events import Arrival, Departure, Tick
+    Arrival, Departure, Tick = _event_types()
 
     if isinstance(ev, Arrival):
         return {"type": "arrival", "time": ev.time, "demand": ev.demand_id}
@@ -212,7 +256,7 @@ def event_to_dict(ev) -> dict:
 
 def event_from_dict(rec: dict):
     """Inverse of :func:`event_to_dict`."""
-    from .online.events import Arrival, Departure, Tick
+    Arrival, Departure, Tick = _event_types()
 
     if not isinstance(rec, dict):
         raise ValueError(f"event record must be an object, got {rec!r}")
@@ -257,13 +301,27 @@ def trace_from_dict(doc: dict):
                       meta=dict(doc.get("meta", {})))
 
 
+def _fsync_dir(directory: str) -> None:
+    """``fsync`` a directory so a just-created or just-renamed entry
+    survives a crash — without this an :func:`os.replace` is atomic but
+    not yet durable (the rename can be lost with the directory's dirty
+    metadata)."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _atomic_dump(doc: dict, path: str) -> None:
     """Write ``doc`` as JSON via temp-file + :func:`os.replace`.
 
     The temp file lives in the destination directory (same filesystem,
     so the replace is atomic) and is removed on any failure — a killed
     or crashing writer leaves either the old file or the new one, never
-    a truncated hybrid.
+    a truncated hybrid.  The temp file is fsynced before the replace
+    and the directory after it, so the rename itself cannot be lost to
+    a power cut.
     """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
@@ -272,7 +330,10 @@ def _atomic_dump(doc: dict, path: str) -> None:
     try:
         with os.fdopen(fd, "w") as fh:
             json.dump(doc, fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(directory)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -315,21 +376,92 @@ def load_trace(path: str):
 
 
 # ----------------------------------------------------------------------
-# The admission journal (append-only JSON lines)
+# The admission journal (append-only; JSON-lines or binary codec)
 # ----------------------------------------------------------------------
+
+#: Supported journal codecs, as accepted by ``JournalWriter(fmt=...)``
+#: and the CLI's ``--format``.
+JOURNAL_FORMATS = ("jsonl", "binary")
+
+#: Binary-journal preamble: magic (first byte deliberately non-ASCII so
+#: it can never collide with a JSON line) + one format-version byte.
+_BINARY_MAGIC = b"\x89RPJ"
+_BINARY_PREAMBLE = _BINARY_MAGIC + bytes([JOURNAL_FORMAT_VERSION])
+
+#: Record-type bytes of the binary codec.
+_REC_HEADER, _REC_EVENT, _REC_CHECKPOINT = 0x48, 0x45, 0x43  # 'H','E','C'
+
+#: Struct-packed event payload: event-type byte, f64 time, u32 demand.
+_EVENT_STRUCT = struct.Struct("<BdI")
+_ETYPE_CODE = {"arrival": 1, "departure": 2, "tick": 3}
+_ETYPE_NAME = {v: k for k, v in _ETYPE_CODE.items()}
+_NO_DEMAND = 0xFFFFFFFF  # ticks carry no demand id
+
+#: Sanity bound on one framed record (the header embeds a whole trace
+#: document, so this is generous; anything larger is corruption).
+_MAX_RECORD_BYTES = 1 << 30
+
+_LEN_STRUCT = struct.Struct("<I")
+
+
+def _pack_event_binary(ev) -> bytes:
+    Arrival, Departure, Tick = _event_types()
+
+    if isinstance(ev, Arrival):
+        payload = _EVENT_STRUCT.pack(1, ev.time, ev.demand_id)
+    elif isinstance(ev, Departure):
+        payload = _EVENT_STRUCT.pack(2, ev.time, ev.demand_id)
+    elif isinstance(ev, Tick):
+        payload = _EVENT_STRUCT.pack(3, ev.time, _NO_DEMAND)
+    else:
+        raise TypeError(f"cannot serialize event {type(ev).__name__}")
+    return _frame_binary(_REC_EVENT, payload)
+
+
+def _unpack_event_binary(payload: bytes):
+    Arrival, Departure, Tick = _event_types()
+
+    code, time_, demand = _EVENT_STRUCT.unpack(payload)
+    if code == 1:
+        return Arrival(time_, demand)
+    if code == 2:
+        return Departure(time_, demand)
+    if code == 3:
+        return Tick(time_)
+    raise ValueError(f"unknown binary event code {code}")
+
+
+def _frame_binary(rtype: int, payload: bytes) -> bytes:
+    body = bytes([rtype]) + payload
+    return _LEN_STRUCT.pack(len(body)) + body
+
+
+def _json_record(doc: dict) -> bytes:
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
 class JournalWriter:
-    """Append-only JSON-lines admission journal.
+    """Append-only admission journal with group commit.
 
-    The first line of a fresh journal is the header: a self-contained
+    The first record of a fresh journal is the header: a self-contained
     record of the policy name, its constructor parameters, the backend
     shape (shards / strategy) and the **full trace document**, so a
     journal alone rebuilds the session that wrote it.  Every further
-    line is one event in the trace event schema, flushed per record —
-    an OS-level write, so the journal survives a ``kill -9`` of the
-    writer (set ``sync=True`` to also ``fsync`` per record and survive
-    power loss, at a large throughput cost).
+    record is one event in the trace event schema, or a checkpoint (see
+    :meth:`checkpoint`).
+
+    Appended records **buffer in memory** and reach the file at the
+    next *commit* — every ``sync_window`` events, whenever
+    ``sync_interval_ms`` has elapsed since the oldest buffered record,
+    on a checkpoint, and at :meth:`close`.  A commit is one batched
+    write + flush (plus one ``fsync`` when ``sync=True``), so the
+    per-event durability cost is amortized across the window.  The
+    default window of 1 commits per record, the PR-5 behaviour: the
+    journal then survives a ``kill -9`` of the writer with no event
+    loss (``sync=True`` additionally survives power loss).  With a
+    wider window, up to ``sync_window - 1`` *accepted* events can be
+    lost to a kill — the service layer exposes :attr:`commit_seq` so
+    clients can tell which events are durable.
 
     Parameters
     ----------
@@ -340,24 +472,61 @@ class JournalWriter:
         The header dict (required for a fresh journal).  The envelope
         fields (``kind`` / ``format``) are stamped here.
     sync:
-        ``fsync`` after every record.
+        ``fsync`` at every commit (power-loss durability).
+    fmt:
+        ``"jsonl"`` (default) or ``"binary"``; resumed journals ignore
+        this and keep the existing file's codec (auto-detected).
+    sync_window:
+        Commit after this many buffered events (default 1).
+    sync_interval_ms:
+        Also commit when the oldest buffered event is older than this
+        many milliseconds (checked on append; no background timer).
     start_at:
         Truncate the file to this many bytes before appending — the
-        resume path drops a torn final line this way (see
+        resume path drops a torn final record this way (see
         :func:`read_journal`).
+    seq0:
+        Event sequence number already in the file at ``start_at`` —
+        lets a resumed writer report absolute ``seq`` / ``commit_seq``.
     """
 
     def __init__(self, path: str, header: dict | None = None, *,
-                 sync: bool = False, start_at: int | None = None):
+                 sync: bool = False, fmt: str = "jsonl",
+                 sync_window: int = 1, sync_interval_ms: float | None = None,
+                 start_at: int | None = None, seq0: int = 0):
+        if fmt not in JOURNAL_FORMATS:
+            raise ValueError(
+                f"unknown journal format {fmt!r}; want one of "
+                f"{'/'.join(JOURNAL_FORMATS)}"
+            )
+        if sync_window < 1:
+            raise ValueError(f"sync_window must be >= 1, got {sync_window}")
+        if sync_interval_ms is not None and sync_interval_ms <= 0:
+            raise ValueError("sync_interval_ms must be positive")
         self.path = path
         self.sync = bool(sync)
+        self.sync_window = int(sync_window)
+        self.sync_interval_ms = sync_interval_ms
+        #: Sequence number of the last *appended* event (possibly still
+        #: buffered).
+        self.seq = int(seq0)
+        #: Sequence number of the last event written (+fsynced when
+        #: ``sync``) to the file — the durable watermark.
+        self.commit_seq = int(seq0)
+        self._pending: list[bytes] = []
+        self._pending_events = 0
+        self._oldest_pending: float | None = None
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         if start_at is not None:
             if not exists:
                 raise ValueError(f"cannot resume missing journal {path!r}")
-            with open(path, "r+") as fh:
+            with open(path, "rb") as fh:
+                self.fmt = ("binary"
+                            if fh.read(len(_BINARY_MAGIC)) == _BINARY_MAGIC
+                            else "jsonl")
+            with open(path, "r+b") as fh:
                 fh.truncate(start_at)
-            self._fh = open(path, "a")
+            self._fh = open(path, "ab")
         elif exists:
             raise ValueError(
                 f"journal {path!r} already exists; pass start_at= (resume) "
@@ -366,23 +535,95 @@ class JournalWriter:
         else:
             if header is None:
                 raise ValueError("a fresh journal needs a header")
-            self._fh = open(path, "w")
+            self.fmt = fmt
+            self._fh = open(path, "wb")
             doc = dict(header)
             doc["kind"] = "admission-journal"
             doc["format"] = JOURNAL_FORMAT_VERSION
-            self._write_line(doc)
+            if self.fmt == "binary":
+                self._fh.write(_BINARY_PREAMBLE)
+                self._fh.write(_frame_binary(_REC_HEADER, _json_record(doc)))
+            else:
+                self._fh.write(_json_record(doc))
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            # Make the file's *existence* crash-durable too: the entry
+            # in the containing directory is metadata the data fsync
+            # above does not cover.
+            _fsync_dir(os.path.dirname(os.path.abspath(path)))
 
-    def _write_line(self, doc: dict) -> None:
-        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
-        self._fh.flush()
-        if self.sync:
-            os.fsync(self._fh.fileno())
+    # ------------------------------------------------------------------
 
-    def append(self, event) -> None:
-        """Journal one event (write-ahead: call *before* applying it)."""
-        self._write_line(event_to_dict(event))
+    def append(self, event) -> int:
+        """Buffer one event (write-ahead: call *before* applying it).
+
+        Returns the event's sequence number; the record reaches the
+        file at the next commit (see :attr:`commit_seq`).
+        """
+        if self.fmt == "binary":
+            self._pending.append(_pack_event_binary(event))
+        else:
+            self._pending.append(_json_record(event_to_dict(event)))
+        self.seq += 1
+        self._pending_events += 1
+        if self._oldest_pending is None and self.sync_interval_ms is not None:
+            self._oldest_pending = time.monotonic()
+        if self._pending_events >= self.sync_window or (
+            self.sync_interval_ms is not None
+            and (time.monotonic() - self._oldest_pending) * 1e3
+            >= self.sync_interval_ms
+        ):
+            self.commit()
+        return self.seq
+
+    def checkpoint(self, state: dict) -> None:
+        """Append a checkpoint record and commit it immediately.
+
+        ``state`` is the serialized session state a resume restores
+        instead of replaying the event prefix (see
+        :meth:`~repro.service.AdmissionService.checkpoint`); it must be
+        JSON-safe.  Checkpoints always force a commit so the journal
+        prefix they summarize is on disk alongside them.
+        """
+        if self.fmt == "binary":
+            rec = _frame_binary(_REC_CHECKPOINT, _json_record(state))
+        else:
+            rec = _json_record({"kind": "checkpoint", "state": state})
+        self._pending.append(rec)
+        self.commit()
+
+    def commit(self) -> int:
+        """Write (and with ``sync``, fsync) everything buffered.
+
+        Returns :attr:`commit_seq`, the durable event watermark.
+        """
+        if self._pending:
+            self._fh.write(b"".join(self._pending))
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            self._pending.clear()
+            self._pending_events = 0
+            self._oldest_pending = None
+        self.commit_seq = self.seq
+        return self.commit_seq
 
     def close(self) -> None:
+        if not self._fh.closed:
+            self.commit()
+            self._fh.close()
+
+    def abandon(self) -> None:
+        """Drop buffered records and close without committing them.
+
+        Simulates a ``kill -9`` landing between buffer and commit —
+        the group-commit crash tests use this; production code wants
+        :meth:`close`.
+        """
+        self._pending.clear()
+        self._pending_events = 0
+        self.seq = self.commit_seq
         if not self._fh.closed:
             self._fh.close()
 
@@ -393,47 +634,174 @@ class JournalWriter:
         self.close()
 
 
-def read_journal(path: str) -> tuple[dict, list, int]:
-    """Read an admission journal; returns ``(header, events, good_bytes)``.
-
-    ``events`` are rehydrated Arrival/Departure/Tick records in journal
-    order.  A torn *final* line — what a killed writer leaves behind —
-    is tolerated and dropped; corruption anywhere else is an error.
-    ``good_bytes`` is the file offset right after the last intact line,
-    the ``start_at`` a resuming :class:`JournalWriter` should use.
-    """
-    with open(path, "rb") as fh:
-        raw = fh.read()
-    lines = raw.split(b"\n")
-    # The writer terminates every record with '\n', so a newline-less
-    # tail is a torn write — dropped even when its JSON happens to
-    # parse (a kill can land exactly between the bytes and the
-    # newline), because resuming must append at a clean line start and
-    # good_bytes/events must describe the same prefix.
-    body = lines[:-1]  # lines[-1] is b"" iff the file ends with '\n'
+def _iter_jsonl_journal(path: str, fh) -> Iterator[tuple]:
     offset = 0
-    records: list[dict] = []
-    for i, line in enumerate(body):
+    saw_header = False
+    lineno = 0
+    for line in fh:
+        lineno += 1
+        if not line.endswith(b"\n"):
+            # The writer terminates every record with '\n', so a
+            # newline-less tail is a torn write — dropped even when its
+            # JSON happens to parse (a kill can land exactly between
+            # the bytes and the newline), because resuming must append
+            # at a clean record start and good_bytes and the yielded
+            # records must describe the same prefix.
+            return
+        offset += len(line)
         if not line.strip():
-            offset += len(line) + 1
             continue
         try:
-            records.append(json.loads(line.decode("utf-8")))
+            rec = json.loads(line.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            # Every body line was newline-terminated, i.e. fully
-            # written — a bad one is corruption, not a torn tail.
+            # Every terminated line was fully written — a bad one is
+            # corruption, not a torn tail.
             raise ValueError(
-                f"corrupt journal {path!r}: bad record on line {i + 1}"
+                f"corrupt journal {path!r}: bad record on line {lineno}"
             )
-        offset += len(line) + 1
-    if not records:
-        raise ValueError(f"journal {path!r} has no header")
-    header = records[0]
-    if header.get("kind") != "admission-journal":
+        if not saw_header:
+            _check_journal_header(path, rec)
+            saw_header = True
+            yield "header", rec, offset
+        elif isinstance(rec, dict) and rec.get("kind") == "checkpoint":
+            yield "checkpoint", rec.get("state") or {}, offset
+        else:
+            yield "event", event_from_dict(rec), offset
+
+
+def _iter_binary_journal(path: str, fh) -> Iterator[tuple]:
+    offset = len(_BINARY_PREAMBLE)
+    version = fh.read(len(_BINARY_PREAMBLE))[len(_BINARY_MAGIC):]
+    if version != bytes([JOURNAL_FORMAT_VERSION]):
+        raise ValueError(
+            f"unsupported journal format version {version[0] if version else None!r}"
+        )
+    saw_header = False
+    recno = 0
+    while True:
+        head = fh.read(_LEN_STRUCT.size)
+        if len(head) < _LEN_STRUCT.size:
+            return  # torn tail (or clean EOF)
+        (length,) = _LEN_STRUCT.unpack(head)
+        if not 0 < length <= _MAX_RECORD_BYTES:
+            raise ValueError(
+                f"corrupt journal {path!r}: bad record length at byte "
+                f"{offset}"
+            )
+        body = fh.read(length)
+        if len(body) < length:
+            return  # torn tail: the record never finished writing
+        recno += 1
+        rtype, payload = body[0], body[1:]
+        try:
+            if rtype == _REC_HEADER:
+                rec = ("header", json.loads(payload.decode("utf-8")))
+            elif rtype == _REC_CHECKPOINT:
+                rec = ("checkpoint", json.loads(payload.decode("utf-8")))
+            elif rtype == _REC_EVENT:
+                rec = ("event", _unpack_event_binary(payload))
+            else:
+                raise ValueError(f"unknown record type {rtype:#x}")
+        except (ValueError, UnicodeDecodeError, struct.error):
+            # A complete record that fails to decode is corruption —
+            # torn tails were already handled by the short reads above.
+            raise ValueError(
+                f"corrupt journal {path!r}: bad record {recno} at byte "
+                f"{offset}"
+            )
+        offset += _LEN_STRUCT.size + length
+        if not saw_header:
+            if rec[0] != "header":
+                raise ValueError(f"{path!r} is not an admission journal")
+            _check_journal_header(path, rec[1])
+            saw_header = True
+        yield rec[0], rec[1], offset
+
+
+def _check_journal_header(path: str, header) -> None:
+    if not isinstance(header, dict) or \
+            header.get("kind") != "admission-journal":
         raise ValueError(f"{path!r} is not an admission journal")
     if header.get("format") != JOURNAL_FORMAT_VERSION:
         raise ValueError(
             f"unsupported journal format version {header.get('format')!r}"
         )
-    events = [event_from_dict(rec) for rec in records[1:]]
-    return header, events, offset
+
+
+def iter_journal(path: str) -> Iterator[tuple]:
+    """Stream an admission journal's records without materializing it.
+
+    Yields ``(kind, payload, good_bytes)`` tuples in file order, where
+    ``kind`` is ``"header"`` (payload: the header dict — always the
+    first record), ``"event"`` (payload: a rehydrated
+    Arrival/Departure/Tick) or ``"checkpoint"`` (payload: the state
+    dict), and ``good_bytes`` is the file offset right after the
+    record — the ``start_at`` a resuming :class:`JournalWriter` should
+    use if this turns out to be the last intact record.
+
+    The codec (JSON-lines or binary) is auto-detected from the first
+    bytes.  A torn *final* record — what a killed writer leaves
+    behind — is silently dropped (the generator just ends);
+    corruption anywhere else raises :class:`ValueError`.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_BINARY_MAGIC))
+        fh.seek(0)
+        if magic == _BINARY_MAGIC:
+            yield from _iter_binary_journal(path, fh)
+        else:
+            yield from _iter_jsonl_journal(path, fh)
+
+
+def read_journal(path: str) -> tuple[dict, list, int]:
+    """Read a whole admission journal into memory.
+
+    Returns ``(header, events, good_bytes)`` — the thin list-building
+    wrapper over :func:`iter_journal` for callers that want the full
+    event list; checkpoint records are skipped.  ``good_bytes`` is the
+    offset right after the last intact record.
+    """
+    header: dict | None = None
+    events: list = []
+    good = 0
+    for kind, payload, offset in iter_journal(path):
+        good = offset
+        if kind == "header":
+            header = payload
+        elif kind == "event":
+            events.append(payload)
+    if header is None:
+        raise ValueError(f"journal {path!r} has no header")
+    return header, events, good
+
+
+def scan_journal(path: str) -> tuple[dict, dict | None, list, int, str]:
+    """One streaming pass prepared for a warm restart.
+
+    Returns ``(header, checkpoint, tail_events, good_bytes, fmt)``:
+    ``checkpoint`` is the *last* checkpoint state in the journal (or
+    ``None``), ``tail_events`` are only the events recorded **after**
+    it (the whole event list when there is no checkpoint), and ``fmt``
+    is the detected codec.  Memory stays proportional to the
+    post-checkpoint tail, not the journal length — the point of
+    snapshot compaction.
+    """
+    with open(path, "rb") as fh:
+        fmt = ("binary" if fh.read(len(_BINARY_MAGIC)) == _BINARY_MAGIC
+               else "jsonl")
+    header: dict | None = None
+    checkpoint: dict | None = None
+    tail: list = []
+    good = 0
+    for kind, payload, offset in iter_journal(path):
+        good = offset
+        if kind == "header":
+            header = payload
+        elif kind == "checkpoint":
+            checkpoint = payload
+            tail = []
+        else:
+            tail.append(payload)
+    if header is None:
+        raise ValueError(f"journal {path!r} has no header")
+    return header, checkpoint, tail, good, fmt

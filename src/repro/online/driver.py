@@ -58,6 +58,5 @@ def replay(trace: EventTrace, policy: AdmissionPolicy, *,
     """
     session = AdmissionSession(trace.problem, policy,
                                trace_meta=trace.meta)
-    for ev in trace.events:
-        session.feed(ev)
+    session.feed_many(trace.events)
     return session.close(verify=verify)

@@ -86,6 +86,21 @@ class AdmissionPolicy:
     def finish(self) -> None:
         """Called once after the last event (final flush point)."""
 
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the policy's mutable state.
+
+        Derived state that :meth:`bind` recomputes from the problem
+        (price bases, instance lookups) is *not* exported; subclasses
+        extend this with whatever their decisions depend on, so that
+        ``bind`` + :meth:`restore_state` reproduces the live policy
+        bit for bit (the checkpoint path relies on it).
+        """
+        return {"stats": dict(self.stats)}
+
+    def restore_state(self, state: dict) -> None:
+        """Reset to an :meth:`export_state` snapshot; call after bind."""
+        self.stats = dict(state["stats"])
+
 
 class GreedyThreshold(AdmissionPolicy):
     """First-fit admission gated by a profit-density threshold.
@@ -298,6 +313,25 @@ class DualGated(AdmissionPolicy):
             doc["history_points"] = len(candidates)
         return doc
 
+    def export_state(self) -> dict:
+        # The peaks and history snapshots are part of the certificate's
+        # trajectory; stored verbatim so a restored run certifies the
+        # exact same bound (mu/_scale are recomputed by bind).
+        state = super().export_state()
+        state["peak"] = self._peak.tolist()
+        state["snapshots"] = [s.tolist() for s in self._snapshots]
+        state["snap_stride"] = self._snap_stride
+        state["snap_seen"] = self._snap_seen
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._peak = np.asarray(state["peak"], dtype=np.float64)
+        self._snapshots = [np.asarray(s, dtype=np.float64)
+                           for s in state["snapshots"]]
+        self._snap_stride = int(state["snap_stride"])
+        self._snap_seen = int(state["snap_seen"])
+
 
 class BatchResolve(AdmissionPolicy):
     """Buffer arrivals; periodically re-solve and admit the winners.
@@ -380,6 +414,17 @@ class BatchResolve(AdmissionPolicy):
 
     def finish(self) -> None:
         self._flush()
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["buffer"] = list(self.buffer)
+        state["buffered"] = sorted(self._buffered)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.buffer = [int(d) for d in state["buffer"]]
+        self._buffered = {int(d) for d in state["buffered"]}
 
     # ------------------------------------------------------------------
 

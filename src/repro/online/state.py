@@ -102,6 +102,16 @@ class CapacityLedger:
         self._holders_by_edge: list[set[int]] = [
             set() for _ in range(self.index.num_edges)
         ]
+        # Static per-instance route geometry as plain Python structures,
+        # cached on first use: the preemptive policies walk routes
+        # holder-by-holder on every arrival, and repeated ``.tolist()``
+        # on the CSR views dominated their hot path.  Route geometry,
+        # heights and profits never change, so these never invalidate.
+        self._route_edges_cache: dict[int, list[int]] = {}
+        self._route_pos_cache: dict[int, dict[int, int]] = {}
+        self._route_len_cache: dict[int, int] = {}
+        self._density_cache: dict[int, float] = {}
+        self._height_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -124,7 +134,11 @@ class CapacityLedger:
 
     def route_length(self, iid: int) -> int:
         """Number of edges on instance ``iid``'s route (at least 1)."""
-        return max(len(self.index.edges_of(iid)), 1)
+        n = self._route_len_cache.get(iid)
+        if n is None:
+            n = max(len(self.index.edges_of(iid)), 1)
+            self._route_len_cache[iid] = n
+        return n
 
     def is_admitted(self, demand_id: int) -> bool:
         """Whether the demand is currently in the system."""
@@ -199,10 +213,42 @@ class CapacityLedger:
         """Internal edge ids of instance ``iid``'s route (CSR order)."""
         return self.active._edges(iid)
 
+    def _route_edge_list(self, iid: int) -> list[int]:
+        """``_edge_ids(iid)`` as a cached Python list (static geometry)."""
+        lst = self._route_edges_cache.get(iid)
+        if lst is None:
+            lst = self._edge_ids(iid).tolist()
+            self._route_edges_cache[iid] = lst
+        return lst
+
+    def _route_pos(self, iid: int) -> dict[int, int]:
+        """Cached ``{edge id -> position}`` map of ``iid``'s route."""
+        pos = self._route_pos_cache.get(iid)
+        if pos is None:
+            pos = {eid: k for k, eid in enumerate(self._route_edge_list(iid))}
+            self._route_pos_cache[iid] = pos
+        return pos
+
+    def _density(self, iid: int) -> float:
+        """Cached profit density (profit / route length) of an instance."""
+        d = self._density_cache.get(iid)
+        if d is None:
+            d = self.instances[iid].profit / self.route_length(iid)
+            self._density_cache[iid] = d
+        return d
+
+    def _height(self, iid: int) -> float:
+        """Cached height of an instance as a Python float."""
+        h = self._height_cache.get(iid)
+        if h is None:
+            h = float(self.index._heights[iid])
+            self._height_cache[iid] = h
+        return h
+
     def holders_on_route(self, iid: int) -> set[int]:
         """Currently-admitted demands sharing an edge with ``iid``'s route."""
         holders: set[int] = set()
-        for eid in self._edge_ids(iid).tolist():
+        for eid in self._route_edge_list(iid):
             holders |= self._holders_by_edge[eid]
         return holders
 
@@ -226,28 +272,25 @@ class CapacityLedger:
         deficit = self.active._load[eids] + self.index._heights[iid] - 1.0
         if (deficit <= _EPS).all():
             return []
-        pos_of = {eid: k for k, eid in enumerate(eids.tolist())}
+        pos_of = self._route_pos(iid)
+        admitted = self._admitted
         holders = sorted(
             self.holders_on_route(iid),
-            key=lambda d: (
-                self.instances[self._admitted[d]].profit
-                / self.route_length(self._admitted[d]),
-                d,
-            ),
+            key=lambda d: (self._density(admitted[d]), d),
         )
         victims: list[int] = []
         for d in holders:
             if (deficit <= _EPS).all():
                 break
-            v_iid = self._admitted[d]
+            v_iid = admitted[d]
             shared = [
                 pos_of[eid]
-                for eid in self._edge_ids(v_iid).tolist()
+                for eid in self._route_edge_list(v_iid)
                 if eid in pos_of
             ]
             if not any(deficit[k] > _EPS for k in shared):
                 continue  # only evict holders that relieve a hot edge
-            height = float(self.index._heights[v_iid])
+            height = self._height(v_iid)
             for k in shared:
                 deficit[k] -= height
             victims.append(d)
@@ -265,11 +308,11 @@ class CapacityLedger:
         """
         eids = self._edge_ids(iid)
         loads = self.active._load[eids].copy()
-        pos_of = {eid: k for k, eid in enumerate(eids.tolist())}
+        pos_of = self._route_pos(iid)
         for d in victims:
             v_iid = self._admitted[d]
-            height = float(self.index._heights[v_iid])
-            for eid in self._edge_ids(v_iid).tolist():
+            height = self._height(v_iid)
+            for eid in self._route_edge_list(v_iid):
                 k = pos_of.get(eid)
                 if k is not None:
                     loads[k] -= height
@@ -301,7 +344,7 @@ class CapacityLedger:
         self._ever_admitted.add(demand_id)
         self.admission_log.append((demand_id, iid))
         self._profit_admitted += float(self.instances[iid].profit)
-        for eid in self._edge_ids(iid).tolist():
+        for eid in self._route_edge_list(iid):
             self._holders_by_edge[eid].add(demand_id)
 
     def try_admit(self, demand_id: int,
@@ -323,7 +366,7 @@ class CapacityLedger:
         best_key = None
         for iid in cands[ok].tolist():
             length = self.route_length(iid)
-            if self.instances[iid].profit / length < min_density:
+            if self._density(iid) < min_density:
                 continue
             key = (length, iid)
             if best_key is None or key < best_key:
@@ -340,7 +383,7 @@ class CapacityLedger:
         except KeyError:
             raise KeyError(f"demand {demand_id} is not admitted") from None
         self.active.remove(iid)
-        for eid in self._edge_ids(iid).tolist():
+        for eid in self._route_edge_list(iid):
             self._holders_by_edge[eid].discard(demand_id)
         return iid
 
@@ -400,6 +443,65 @@ class CapacityLedger:
         self._profit_forfeited += float(self.instances[iid].profit)
         self._penalty_paid += float(penalty)
         return iid
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of every mutable field, bit-exact.
+
+        The per-edge loads are stored **verbatim** rather than
+        recomputed from the admitted set on restore: re-adding heights
+        would replay a *different* float accumulation order, and the
+        policies' price functions (``max_gate``, the dual certificate)
+        would drift off the uninterrupted run.  Python's JSON float
+        round-trip is exact (shortest-repr), so ``tolist`` → restore is
+        lossless.
+        """
+        return {
+            "load": self.active._load.tolist(),
+            "admitted": [[d, i] for d, i in sorted(self._admitted.items())],
+            "ever_admitted": sorted(self._ever_admitted),
+            "evicted": sorted(self._evicted),
+            "admission_log": [[d, i] for d, i in self.admission_log],
+            "eviction_log": [[d, i] for d, i in self.eviction_log],
+            "penalty_paid": self._penalty_paid,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset a freshly-built ledger to an :meth:`export_state` snapshot.
+
+        The profit counters are *re-accumulated* from the logs in their
+        original order — one add per entry, the exact float sequence the
+        live run performed — so they land on identical bits without
+        being stored.
+        """
+        self.active._load[:] = np.asarray(state["load"], dtype=np.float64)
+        self._admitted = {int(d): int(i) for d, i in state["admitted"]}
+        self._ever_admitted = {int(d) for d in state["ever_admitted"]}
+        self._evicted = {int(d) for d in state["evicted"]}
+        self.admission_log = [(int(d), int(i))
+                              for d, i in state["admission_log"]]
+        self.eviction_log = [(int(d), int(i))
+                             for d, i in state["eviction_log"]]
+        self._profit_admitted = 0.0
+        for _, iid in self.admission_log:
+            self._profit_admitted += float(self.instances[iid].profit)
+        self._profit_forfeited = 0.0
+        for _, iid in self.eviction_log:
+            self._profit_forfeited += float(self.instances[iid].profit)
+        self._penalty_paid = float(state["penalty_paid"])
+        members = set(self._admitted.values())
+        self.active._members = members
+        self.active._demand_used[:] = False
+        for iid in members:
+            self.active._demand_used[self.index._dix[iid]] = True
+        for holders in self._holders_by_edge:
+            holders.clear()
+        for d, iid in self._admitted.items():
+            for eid in self._route_edge_list(iid):
+                self._holders_by_edge[eid].add(d)
 
     # ------------------------------------------------------------------
     # Verification

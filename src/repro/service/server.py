@@ -14,6 +14,12 @@ request arrives; they never raise on malformed input — bad JSON and
 domain errors come back as ``{"ok": false, ...}`` response lines, so
 one broken client request cannot take the service (and its journal)
 down with it.
+
+High-throughput clients should prefer the batched ``feed`` op —
+``{"op": "feed", "events": [{...}, ...]}`` — over per-event ``submit``
+lines: one request line, one validation sweep and one journal commit
+window cover the whole batch (see
+:meth:`~repro.service.AdmissionService.feed_events`).
 """
 
 from __future__ import annotations

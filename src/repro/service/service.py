@@ -2,14 +2,14 @@
 
 :class:`AdmissionService` turns the :class:`~repro.session.
 AdmissionSession` kernel into a *server-shaped* object: events arrive
-one request at a time from outside the process (stdin, a socket, a
-test driver), every applied event is first written to an append-only
-JSON-lines **admission journal** (:class:`~repro.io.JournalWriter`),
-and a killed service **warm-restarts** from that journal — replaying
-the journaled events into a fresh session reconstructs the exact
-ledger/metrics state, so resuming and finishing a trace produces
-metrics identical to an uninterrupted run (timing fields aside; replay
-decisions are deterministic).
+as requests from outside the process (stdin, a socket, a test driver),
+every applied event is first written to an append-only **admission
+journal** (:class:`~repro.io.JournalWriter` — JSON-lines or the compact
+binary codec), and a killed service **warm-restarts** from that
+journal — replaying the journaled events into a fresh session
+reconstructs the exact ledger/metrics state, so resuming and finishing
+a trace produces metrics identical to an uninterrupted run (timing
+fields aside; replay decisions are deterministic).
 
 Request/response API (JSON-safe dicts, see :meth:`AdmissionService.
 handle`):
@@ -21,11 +21,26 @@ admit     an arrival: ``{"op": "admit", "demand": 3, "time": 1.5}``
 release   a departure: ``{"op": "release", "demand": 3, "time": 9.0}``
 tick      a clock edge (batching policies may flush)
 submit    a raw trace-schema event: ``{"op": "submit", "event": {...}}``
+feed      a batch of raw events: ``{"op": "feed", "events": [...]}`` —
+          one decode/validate/journal-commit amortized over the batch
 query     one demand's admission status
 stats     live counters (events, accepted, profit, utilization, ...)
 snapshot  the currently-admitted set as a solution document
 close     final flush + verify; responds with the full metrics record
 ========  ============================================================
+
+Event responses report two watermarks when journaling: ``seq`` (this
+event's sequence number — *accepted*) and ``commit_seq`` (the last
+sequence the journal has flushed to the OS, fsynced under ``--sync`` —
+*durable*).  With the default ``sync_window=1`` they always coincide;
+wider group-commit windows trade a bounded acknowledgement lag for
+amortized durability cost.
+
+**Checkpoints** (``checkpoint_every=N``) periodically append the full
+serialized session state to the journal, so :meth:`resume` restores the
+last checkpoint and replays only the tail — restart cost proportional
+to the post-checkpoint suffix, not total history.  :meth:`compact`
+rewrites a journal as header + one checkpoint.
 
 With ``shards > 1`` the service runs the **sharded coordinator
 backend**: the policy is bound to the exact global coordinator view of
@@ -38,10 +53,13 @@ deployment story needs, verified alongside the coordinator at close.
 
 from __future__ import annotations
 
+import os
+
 from ..io import (
     JournalWriter,
+    _fsync_dir,
     event_from_dict,
-    read_journal,
+    scan_journal,
     solution_to_dict,
     trace_from_dict,
     trace_to_dict,
@@ -73,20 +91,36 @@ class AdmissionService:
     shards / shard_by:
         ``shards > 1`` selects the sharded coordinator backend.
     sync:
-        ``fsync`` the journal after every record (power-loss
-        durability; plain flushing already survives a process kill).
+        ``fsync`` the journal at every commit (power-loss durability;
+        plain flushing already survives a process kill).
+    fmt:
+        Journal codec, ``"jsonl"`` (default) or ``"binary"``.
+    sync_window / sync_interval_ms:
+        Group-commit window: commit every N buffered events and/or
+        whenever the oldest buffered event is T ms old.  The default
+        window of 1 commits per record.
+    checkpoint_every:
+        Append a state checkpoint to the journal every N applied
+        events (0 disables).  The cadence travels in the journal
+        header so a resumed service keeps checkpointing.
     """
 
     def __init__(self, trace: EventTrace, policy: str = "greedy-threshold",
                  params: dict | None = None, *,
                  journal_path: str | None = None,
                  shards: int = 1, shard_by: str = "subtree",
-                 sync: bool = False):
+                 sync: bool = False, fmt: str = "jsonl",
+                 sync_window: int = 1,
+                 sync_interval_ms: float | None = None,
+                 checkpoint_every: int = 0):
         self.trace = trace
         self.policy_name = policy
         self.params = dict(params or {})
         self.shards = int(shards)
         self.shard_by = shard_by
+        self.checkpoint_every = int(checkpoint_every)
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         policy_obj = make_policy(policy, **self.params)
         self.sharded = None
         self._local_iids: dict[int, dict[int, int]] = {}
@@ -103,7 +137,7 @@ class AdmissionService:
         else:
             self.session = AdmissionSession(trace.problem, policy_obj,
                                             trace_meta=trace.meta)
-        #: Events applied so far (== journal body length when journaling).
+        #: Events applied so far (== journal event count when journaling).
         self.position = 0
         # Stream-validity bookkeeping, mirroring EventTrace's invariants:
         # requests come from outside the process, so the service (not the
@@ -113,11 +147,14 @@ class AdmissionService:
         self._arrived: set[int] = set()
         self._departed: set[int] = set()
         self._last_time = 0.0
+        self._next_checkpoint = self.checkpoint_every or 0
         self.result: ReplayResult | None = None
         self.journal: JournalWriter | None = None
         if journal_path is not None:
-            self.journal = JournalWriter(journal_path, self._header(),
-                                         sync=sync)
+            self.journal = JournalWriter(
+                journal_path, self._header(), sync=sync, fmt=fmt,
+                sync_window=sync_window, sync_interval_ms=sync_interval_ms,
+            )
 
     def _header(self) -> dict:
         """The self-contained journal header (rebuilds this service)."""
@@ -126,6 +163,7 @@ class AdmissionService:
             "params": dict(self.params),
             "shards": self.shards,
             "shard_by": self.shard_by,
+            "checkpoint_every": self.checkpoint_every,
             "trace": trace_to_dict(self.trace),
         }
 
@@ -133,7 +171,13 @@ class AdmissionService:
     # Event intake
     # ------------------------------------------------------------------
 
-    def _validate(self, ev) -> None:
+    def _validate(self, ev, arrived: set | None = None,
+                  departed: set | None = None) -> None:
+        """Reject an invalid event against the given stream state
+        (defaults to the live sets; the batched path validates against
+        running copies so a bad batch is rejected whole)."""
+        arrived = self._arrived if arrived is None else arrived
+        departed = self._departed if departed is None else departed
         m = self.trace.problem.num_demands
         if isinstance(ev, (Arrival, Departure)):
             if not (0 <= ev.demand_id < m):
@@ -141,14 +185,14 @@ class AdmissionService:
                     f"unknown demand {ev.demand_id} (population has {m})"
                 )
         if isinstance(ev, Arrival):
-            if ev.demand_id in self._arrived:
+            if ev.demand_id in arrived:
                 raise ValueError(f"demand {ev.demand_id} already arrived")
         elif isinstance(ev, Departure):
-            if ev.demand_id not in self._arrived:
+            if ev.demand_id not in arrived:
                 raise ValueError(
                     f"demand {ev.demand_id} departs before arriving"
                 )
-            if ev.demand_id in self._departed:
+            if ev.demand_id in departed:
                 raise ValueError(f"demand {ev.demand_id} already departed")
 
     def submit_event(self, ev) -> Decision:
@@ -156,7 +200,65 @@ class AdmissionService:
         self._validate(ev)
         if self.journal is not None:
             self.journal.append(ev)
-        return self._apply(ev)
+        decision = self._apply(ev)
+        self._maybe_checkpoint()
+        return decision
+
+    def feed_events(self, events) -> dict:
+        """Validate, journal and apply a whole batch of raw events.
+
+        The batched hot path: one request decode, one validation sweep,
+        one journal commit window and one dispatch loop amortized over
+        the batch.  The **whole batch is validated before anything is
+        journaled or applied**, so a bad record rejects the request
+        without half-applying a prefix.  Returns the response payload
+        (events applied, admissions the batch produced, stream
+        position, and the journal watermarks when journaling).
+        """
+        if self.session.closed:
+            raise RuntimeError("session is closed")
+        evs = [ev if isinstance(ev, (Arrival, Departure, Tick))
+               else event_from_dict(ev) for ev in events]
+        arrived, departed = set(self._arrived), set(self._departed)
+        for ev in evs:
+            self._validate(ev, arrived, departed)
+            if isinstance(ev, Arrival):
+                arrived.add(ev.demand_id)
+            elif isinstance(ev, Departure):
+                departed.add(ev.demand_id)
+        journal = self.journal
+        if journal is not None:
+            for ev in evs:
+                journal.append(ev)
+        adm0 = len(self.session.ledger.admission_log)
+        if self.sharded is None:
+            # No mirroring to drive, so skip Decision assembly entirely.
+            session = self.session
+            arrived, departed = self._arrived, self._departed
+            last = self._last_time
+            for ev in evs:
+                session.feed(ev)
+                if isinstance(ev, Arrival):
+                    arrived.add(ev.demand_id)
+                elif isinstance(ev, Departure):
+                    departed.add(ev.demand_id)
+                if ev.time > last:
+                    last = ev.time
+            self._last_time = last
+            self.position += len(evs)
+        else:
+            for ev in evs:
+                self._apply(ev)
+        self._maybe_checkpoint()
+        doc = {
+            "applied": len(evs),
+            "accepted": len(self.session.ledger.admission_log) - adm0,
+            "position": self.position,
+        }
+        if journal is not None:
+            doc["seq"] = journal.seq
+            doc["commit_seq"] = journal.commit_seq
+        return doc
 
     def _apply(self, ev) -> Decision:
         """Apply an already-journaled (or recovered) event."""
@@ -169,6 +271,74 @@ class AdmissionService:
         self._mirror(decision)
         self.position += 1
         return decision
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if (self.journal is not None and self.checkpoint_every
+                and self.position >= self._next_checkpoint):
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Append a state checkpoint to the journal (forces a commit).
+
+        A resume restores the latest checkpoint and replays only the
+        events after it.  Returns the stream position the checkpoint
+        covers.
+        """
+        if self.journal is None:
+            raise RuntimeError("checkpointing requires a journal")
+        self.journal.checkpoint(self.checkpoint_state())
+        self._next_checkpoint = self.position + (self.checkpoint_every or 0)
+        return self.position
+
+    def checkpoint_state(self) -> dict:
+        """The full mutable session state as a JSON-safe dict.
+
+        Bit-exact by construction: the ledger stores its float state
+        verbatim and the policy exports everything its decisions depend
+        on, so restore + tail replay equals uninterrupted replay (the
+        warm-restart equivalence tests quantify this over every policy
+        and kill point).  Sharded services store the coordinator only;
+        the per-shard mirrors are derived views, rebuilt on restore.
+        """
+        return {
+            "position": self.position,
+            "last_time": self._last_time,
+            "arrived": sorted(self._arrived),
+            "departed": sorted(self._departed),
+            "counters": self.session.export_counters(),
+            "ledger": self.session.ledger.export_state(),
+            "policy": self.session.policy.export_state(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        """Reset this freshly-built service to a checkpoint state."""
+        self.position = int(state["position"])
+        self._last_time = float(state["last_time"])
+        self._arrived = {int(d) for d in state["arrived"]}
+        self._departed = {int(d) for d in state["departed"]}
+        self.session.restore_counters(state["counters"])
+        self.session.ledger.restore_state(state["ledger"])
+        self.session.policy.restore_state(state["policy"])
+        self._next_checkpoint = self.position + (self.checkpoint_every or 0)
+        if self.sharded is not None:
+            self._rebuild_shard_mirrors()
+
+    def _rebuild_shard_mirrors(self) -> None:
+        """Re-admit the current interior admitted set into the shard
+        ledgers.  Checkpoints store the coordinator only: the mirrors
+        are pure occupancy views derived from it, so rebuilding them
+        from the admitted set reproduces exactly what incremental
+        mirroring would show for the demands still in the system."""
+        plan = self.sharded.plan
+        for d, gid in self.session.ledger.admitted_items():
+            if plan.is_boundary(d):
+                continue
+            s = plan.shard_of(d)
+            self.sharded.shard_ledger(s).admit(self._local_iid(s, gid))
 
     # ------------------------------------------------------------------
     # Sharded-backend mirroring
@@ -244,8 +414,17 @@ class AdmissionService:
         try:
             if op in ("submit", "admit", "release", "tick"):
                 decision = self.submit_event(self._event_of(req))
-                return {"ok": True, "op": op,
+                resp = {"ok": True, "op": op,
                         "decision": decision.to_dict()}
+                if self.journal is not None:
+                    resp["seq"] = self.journal.seq
+                    resp["commit_seq"] = self.journal.commit_seq
+                return resp
+            if op == "feed":
+                events = req.get("events")
+                if not isinstance(events, list):
+                    raise ValueError('op "feed" needs an "events" list')
+                return {"ok": True, "op": op, **self.feed_events(events)}
             if op == "query":
                 return {"ok": True, "op": op,
                         **self.query(int(req["demand"]))}
@@ -260,7 +439,7 @@ class AdmissionService:
                         "metrics": result.metrics.to_dict(),
                         "policy_stats": result.policy_stats}
             raise ValueError(
-                f"unknown op {op!r}; want admit/release/tick/submit/"
+                f"unknown op {op!r}; want admit/release/tick/submit/feed/"
                 "query/stats/snapshot/close"
             )
         except (KeyError, ValueError, TypeError, RuntimeError) as exc:
@@ -285,6 +464,9 @@ class AdmissionService:
         doc["position"] = self.position
         doc["policy"] = self.policy_name
         doc["journaled"] = self.journal is not None
+        if self.journal is not None:
+            doc["seq"] = self.journal.seq
+            doc["commit_seq"] = self.journal.commit_seq
         if self.sharded is not None:
             rows = []
             for s in range(self.sharded.plan.n_shards):
@@ -302,7 +484,7 @@ class AdmissionService:
         return doc
 
     def close(self, *, verify: bool = True) -> ReplayResult:
-        """Final flush + verification; closes the journal too."""
+        """Final flush + verification; commits and closes the journal."""
         self.result = self.session.close(verify=verify)
         if verify and self.sharded is not None:
             for led in self.sharded._shard_ledgers:
@@ -317,41 +499,109 @@ class AdmissionService:
     # ------------------------------------------------------------------
 
     @classmethod
-    def resume(cls, journal_path: str, *,
-               sync: bool = False) -> "AdmissionService":
-        """Rebuild a service from its journal and reattach to it.
+    def _rebuild(cls, journal_path: str, *,
+                 checkpoint_every: int | None = None):
+        """Reconstruct a (journal-less) service from a journal.
 
-        The journaled events are re-applied to a fresh session (replay
-        is deterministic, so the rebuilt ledger/metrics state is exactly
-        the killed service's); a torn final journal line is dropped and
-        the file truncated past it, and new events append to the same
-        journal.  ``service.position`` tells how far the stream got.
+        One streaming scan finds the last checkpoint and the event tail
+        after it; the checkpoint is restored, the tail replayed — cost
+        proportional to the tail, not total history.  Returns
+        ``(service, good_bytes, fmt)`` so callers can reattach a writer
+        or rewrite the file.
         """
-        header, events, good_bytes = read_journal(journal_path)
+        header, ckpt, tail, good_bytes, fmt = scan_journal(journal_path)
         trace = trace_from_dict(header["trace"])
         svc = cls(
             trace, header["policy"], header.get("params") or {},
             journal_path=None,
             shards=int(header.get("shards", 1)),
             shard_by=header.get("shard_by", "subtree"),
+            checkpoint_every=(int(header.get("checkpoint_every", 0))
+                              if checkpoint_every is None
+                              else checkpoint_every),
         )
-        for ev in events:
+        if ckpt is not None:
+            svc._restore_state(ckpt)
+        for ev in tail:
             svc._apply(ev)
-        svc.journal = JournalWriter(journal_path, sync=sync,
-                                    start_at=good_bytes)
+        return svc, good_bytes, fmt
+
+    @classmethod
+    def resume(cls, journal_path: str, *, sync: bool = False,
+               sync_window: int = 1, sync_interval_ms: float | None = None,
+               checkpoint_every: int | None = None) -> "AdmissionService":
+        """Rebuild a service from its journal and reattach to it.
+
+        The last checkpoint (if any) is restored and only the journaled
+        events after it are re-applied (replay is deterministic, so the
+        rebuilt ledger/metrics state is exactly the killed service's); a
+        torn final journal record is dropped and the file truncated past
+        it, and new events append to the same journal in its existing
+        codec.  ``service.position`` tells how far the stream got.
+        ``checkpoint_every=None`` keeps the cadence recorded in the
+        journal header.
+        """
+        svc, good_bytes, _fmt = cls._rebuild(
+            journal_path, checkpoint_every=checkpoint_every)
+        svc.journal = JournalWriter(
+            journal_path, sync=sync, sync_window=sync_window,
+            sync_interval_ms=sync_interval_ms,
+            start_at=good_bytes, seq0=svc.position,
+        )
+        svc._next_checkpoint = svc.position + (svc.checkpoint_every or 0)
         return svc
 
-    def run_remaining(self, *, verify: bool = True) -> ReplayResult:
+    @classmethod
+    def compact(cls, journal_path: str, *,
+                fmt: str | None = None) -> dict:
+        """Rewrite a journal as header + one checkpoint of its state.
+
+        The journal is rebuilt (checkpoint + tail replay), its full
+        state is re-serialized as a single checkpoint, and the file is
+        atomically replaced — resumes then restore in O(state) instead
+        of replaying the whole history.  ``fmt`` converts the codec
+        (``None`` keeps the existing one).  Safe on a journal whose
+        writer was killed (the torn tail is dropped, exactly as resume
+        would).  Returns ``{"position", "bytes_before", "bytes_after",
+        "format"}``.
+        """
+        svc, _good, cur_fmt = cls._rebuild(journal_path)
+        out_fmt = cur_fmt if fmt is None else fmt
+        bytes_before = os.path.getsize(journal_path)
+        directory = os.path.dirname(os.path.abspath(journal_path))
+        tmp = journal_path + ".compact.tmp"
+        try:
+            with JournalWriter(tmp, svc._header(), fmt=out_fmt) as jw:
+                jw.checkpoint(svc.checkpoint_state())
+            os.replace(tmp, journal_path)
+            _fsync_dir(directory)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return {
+            "position": svc.position,
+            "bytes_before": bytes_before,
+            "bytes_after": os.path.getsize(journal_path),
+            "format": out_fmt,
+        }
+
+    def run_remaining(self, *, verify: bool = True,
+                      batch: int = 256) -> ReplayResult:
         """Finish the trace: submit every not-yet-applied trace event.
 
         Valid when the service's request stream is (a prefix of) the
         trace's own event sequence — the ``repro serve``/``repro
         resume`` workflow — since ``position`` then indexes the first
-        outstanding trace event.  Returns the final
-        :class:`~repro.session.kernel.ReplayResult`, which matches an
-        uninterrupted replay of the whole trace exactly (timing fields
-        aside).
+        outstanding trace event.  Events go through the batched
+        :meth:`feed_events` path in ``batch``-sized chunks.  Returns
+        the final :class:`~repro.session.kernel.ReplayResult`, which
+        matches an uninterrupted replay of the whole trace exactly
+        (timing fields aside).
         """
-        for ev in self.trace.events[self.position:]:
-            self.submit_event(ev)
+        remaining = self.trace.events[self.position:]
+        for i in range(0, len(remaining), max(batch, 1)):
+            self.feed_events(remaining[i:i + max(batch, 1)])
         return self.close(verify=verify)

@@ -293,6 +293,43 @@ class AdmissionSession:
         construction are measurable at benchmark event rates)."""
         self._dispatch(event)
 
+    def feed_many(self, events) -> None:
+        """:meth:`feed` a whole batch in one call.
+
+        The batched hot path the replay drivers and the service's
+        ``feed`` op use: one method call (and, upstream, one request
+        decode and one journal commit) amortized over the batch.
+        """
+        dispatch = self._dispatch
+        for event in events:
+            dispatch(event)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def export_counters(self) -> dict:
+        """The event counters a checkpoint must carry (JSON-safe).
+
+        Latency samples are deliberately *not* exported: they are
+        wall-clock noise excluded from
+        :func:`~repro.online.metrics.deterministic_metrics`, the
+        equality the warm-restart guarantee is stated over.
+        """
+        return {
+            "events": self.events,
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "ticks": self.ticks,
+        }
+
+    def restore_counters(self, state: dict) -> None:
+        """Reset the event counters to an exported snapshot."""
+        self.events = int(state["events"])
+        self.arrivals = int(state["arrivals"])
+        self.departures = int(state["departures"])
+        self.ticks = int(state["ticks"])
+
     def _dispatch(self, event):
         """Apply one event; returns ``(kind, demand_id, accepted,
         latency_s)`` and updates every accumulator."""

@@ -52,8 +52,7 @@ def _run_shard_session(trace: EventTrace, policy,
     """One shard worker: a thin consumer of the session kernel."""
     session = AdmissionSession(trace.problem, policy,
                                trace_meta=trace.meta)
-    for ev in trace.events:
-        session.feed(ev)
+    session.feed_many(trace.events)
     return session.close(verify=verify)
 
 

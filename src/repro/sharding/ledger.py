@@ -226,8 +226,7 @@ class BoundaryBroker:
         # every other replay path.
         session = AdmissionSession.over_ledger(ledger, policy,
                                                trace_meta=trace.meta)
-        for ev in events:
-            session.feed(ev)
+        session.feed_many(events)
         result = session.close(verify=verify)
         # The certificate is priced on the coordinator over the *full*
         # population, so it upper-bounds the global offline optimum —

@@ -1,19 +1,22 @@
 """CI smoke: serve a trace, ``kill -9`` mid-stream, resume, diff metrics.
 
-The end-to-end warm-restart story across real process boundaries:
+The end-to-end warm-restart story across real process boundaries, run
+once per journal format (JSON-lines and binary):
 
 1. generate + save a short trace, record the plain ``repro replay``
    metrics for it;
-2. start ``repro serve --journal`` as a subprocess, feed it the first
-   half of the trace's events as stdin requests (reading each response),
-   then SIGKILL it — no shutdown hooks, exactly the failure the journal
-   exists for;
-3. ``repro resume --journal`` in a fresh process: recover, finish the
-   trace, write the final metrics;
-4. diff the resumed metrics (and policy stats) against the plain replay,
-   ignoring only wall-clock timing fields.
+2. start ``repro serve --journal --format <fmt>`` as a subprocess, feed
+   it the first half of the trace's events as stdin requests (batched
+   ``feed`` ops, reading each response), then SIGKILL it — no shutdown
+   hooks, exactly the failure the journal exists for;
+3. ``repro compact`` the torn journal in a fresh process — recovery
+   plus checkpointing folded into one file;
+4. ``repro resume --journal`` in another fresh process: restore the
+   checkpoint, finish the trace, write the final metrics;
+5. diff the resumed metrics (and policy stats) against the plain
+   replay, ignoring only wall-clock timing fields.
 
-Exit code 0 iff the metrics match exactly.
+Exit code 0 iff the metrics match exactly for both formats.
 
 Run from the repo root::
 
@@ -32,6 +35,85 @@ import tempfile
 POLICY = "dual-gated"
 EVENTS = 300
 KILL_AFTER = 140
+FEED_BATCH = 20
+SYNC_WINDOW = 8
+#: 8 does not divide 140: the SIGKILL lands with 4 events accepted but
+#: not yet committed, so the resume must recover to the last group
+#: commit boundary — the crash the sync window trades durability for.
+COMMITTED = KILL_AFTER - KILL_AFTER % SYNC_WINDOW
+
+
+def run_format(fmt: str, env: dict, trace, trace_path: str,
+               plain: dict, tmp: str) -> int:
+    from repro.io import event_to_dict
+    from repro.online import deterministic_metrics
+
+    def deterministic(doc: dict) -> dict:
+        doc = deterministic_metrics(doc)
+        doc.pop("resumed_at", None)
+        return doc
+
+    journal = os.path.join(tmp, f"smoke-{fmt}.journal")
+    resumed_path = os.path.join(tmp, f"resumed-{fmt}.json")
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--trace", trace_path,
+         "--policy", POLICY, "--journal", journal, "--format", fmt,
+         "--sync-window", str(SYNC_WINDOW)],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, env=env, text=True,
+    )
+    for i in range(0, KILL_AFTER, FEED_BATCH):
+        batch = [event_to_dict(ev)
+                 for ev in trace.events[i:i + FEED_BATCH]]
+        server.stdin.write(json.dumps(
+            {"op": "feed", "events": batch}) + "\n")
+        server.stdin.flush()
+        resp = json.loads(server.stdout.readline())
+        if not resp.get("ok"):
+            print(f"FAIL({fmt}): server refused a batch: {resp}")
+            server.kill()
+            return 1
+    if resp.get("seq") != KILL_AFTER or resp.get("commit_seq") != COMMITTED:
+        print(f"FAIL({fmt}): expected seq {KILL_AFTER} / commit_seq "
+              f"{COMMITTED}, got {resp.get('seq')} / "
+              f"{resp.get('commit_seq')}")
+        server.kill()
+        return 1
+    server.send_signal(signal.SIGKILL)
+    server.wait()
+    print(f"[{fmt}] served {KILL_AFTER}/{len(trace.events)} events "
+          f"in feed batches ({COMMITTED} committed), killed the "
+          "service with SIGKILL")
+
+    compacted = subprocess.run(
+        [sys.executable, "-m", "repro", "compact", "--journal", journal],
+        env=env, check=True, capture_output=True, text=True,
+    )
+    print(f"[{fmt}] {compacted.stdout.strip()}")
+
+    subprocess.run(
+        [sys.executable, "-m", "repro", "resume", "--journal", journal,
+         "-o", resumed_path],
+        env=env, check=True, stdout=subprocess.DEVNULL,
+    )
+    with open(resumed_path) as fh:
+        resumed = json.load(fh)
+    if resumed.get("resumed_at") != COMMITTED:
+        print(f"FAIL({fmt}): expected resume at the commit boundary "
+              f"{COMMITTED}, got {resumed.get('resumed_at')}")
+        return 1
+    a, b = deterministic(plain), deterministic(resumed)
+    if a != b:
+        diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+        print(f"FAIL({fmt}): resumed metrics diverge on {sorted(diff)}")
+        for k in sorted(diff):
+            print(f"  {k}: plain={a.get(k)!r} resumed={b.get(k)!r}")
+        return 1
+    print(f"[{fmt}] OK: warm restart reproduced the uninterrupted "
+          f"replay (profit {plain['realized_profit']:.2f}, "
+          f"{plain['accepted']}/{plain['arrivals']} accepted)")
+    return 0
 
 
 def main() -> int:
@@ -40,13 +122,8 @@ def main() -> int:
         os.path.abspath(__file__))), "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     sys.path.insert(0, src)
-    from repro.io import event_to_dict, save_trace
-    from repro.online import deterministic_metrics, generate_trace
-
-    def deterministic(doc: dict) -> dict:
-        doc = deterministic_metrics(doc)
-        doc.pop("resumed_at", None)
-        return doc
+    from repro.io import save_trace
+    from repro.online import generate_trace
 
     with tempfile.TemporaryDirectory() as tmp:
         trace = generate_trace("line", events=EVENTS, seed=9,
@@ -54,58 +131,19 @@ def main() -> int:
         trace_path = os.path.join(tmp, "trace.json")
         save_trace(trace, trace_path)
         plain_path = os.path.join(tmp, "plain.json")
-        journal = os.path.join(tmp, "smoke.journal")
-        resumed_path = os.path.join(tmp, "resumed.json")
 
         subprocess.run(
             [sys.executable, "-m", "repro", "replay", trace_path,
              "--policy", POLICY, "-o", plain_path],
             env=env, check=True, stdout=subprocess.DEVNULL,
         )
-
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--trace", trace_path,
-             "--policy", POLICY, "--journal", journal],
-            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            stderr=subprocess.DEVNULL, env=env, text=True,
-        )
-        for ev in trace.events[:KILL_AFTER]:
-            server.stdin.write(json.dumps(
-                {"op": "submit", "event": event_to_dict(ev)}) + "\n")
-            server.stdin.flush()
-            resp = json.loads(server.stdout.readline())
-            if not resp.get("ok"):
-                print(f"FAIL: server refused an event: {resp}")
-                server.kill()
-                return 1
-        server.send_signal(signal.SIGKILL)
-        server.wait()
-        print(f"served {KILL_AFTER}/{len(trace.events)} events, "
-              "killed the service with SIGKILL")
-
-        subprocess.run(
-            [sys.executable, "-m", "repro", "resume", "--journal", journal,
-             "-o", resumed_path],
-            env=env, check=True, stdout=subprocess.DEVNULL,
-        )
         with open(plain_path) as fh:
             plain = json.load(fh)
-        with open(resumed_path) as fh:
-            resumed = json.load(fh)
-        if resumed.get("resumed_at") != KILL_AFTER:
-            print(f"FAIL: expected resume at {KILL_AFTER}, "
-                  f"got {resumed.get('resumed_at')}")
-            return 1
-        a, b = deterministic(plain), deterministic(resumed)
-        if a != b:
-            diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
-            print(f"FAIL: resumed metrics diverge on {sorted(diff)}")
-            for k in sorted(diff):
-                print(f"  {k}: plain={a.get(k)!r} resumed={b.get(k)!r}")
-            return 1
-        print(f"OK: warm restart reproduced the uninterrupted replay "
-              f"(profit {plain['realized_profit']:.2f}, "
-              f"{plain['accepted']}/{plain['arrivals']} accepted)")
+
+        for fmt in ("jsonl", "binary"):
+            rc = run_format(fmt, env, trace, trace_path, plain, tmp)
+            if rc != 0:
+                return rc
     return 0
 
 
