@@ -92,6 +92,7 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
         report["cases"][str(events)] = case
     report["service"] = run_service_bench(smoke=smoke)
     report["sharding"] = run_sharding_bench(smoke=smoke)
+    report["serving"] = run_concurrent_clients_bench(smoke=smoke)
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(report, fh, indent=2)
@@ -256,9 +257,18 @@ def run_sharding_bench(smoke: bool = False) -> dict:
     ``wall_events_per_sec`` is what this single host measured end to
     end.  ``speedup`` compares the critical path against the unsharded
     single-ledger driver on the identical trace.
+
+    Each shard count is run through both backends — the classic
+    two-phase :class:`~repro.sharding.ShardedDriver` and the
+    shared-geometry :class:`~repro.sharding.StreamedShardedDriver`
+    (two-phase boundary mode, byte-identical results) — and
+    ``streamed_wall_speedup`` records the streamed / two-phase
+    wall-rate ratio, the headline win of sharing one conflict-index
+    build across the coordinator and every shard view.  Best-of-2 per
+    cell damps scheduler noise.
     """
     from repro.online import generate_trace, make_policy, replay
-    from repro.sharding import ShardedDriver
+    from repro.sharding import ShardedDriver, StreamedShardedDriver
 
     events = 4_000 if smoke else 20_000
     spec = dict(SHARDING_TRACE)
@@ -279,22 +289,134 @@ def run_sharding_bench(smoke: bool = False) -> dict:
                  " wall_events_per_sec is this host's end-to-end rate"),
         "rows": [],
     }
+    reps = 2
     for shards in (1, 2, 4):
-        res = ShardedDriver(shards, "subtree").run(
-            trace, "greedy-threshold", {}
-        )
+        res, streamed = None, None
+        best_wall = best_streamed_wall = 0.0
+        for _ in range(reps):
+            r = ShardedDriver(shards, "subtree").run(
+                trace, "greedy-threshold", {})
+            if r.merged.events_per_sec > best_wall:
+                best_wall, res = r.merged.events_per_sec, r
+            s = StreamedShardedDriver(shards, "subtree").run(
+                trace, "greedy-threshold", {})
+            if s.merged.events_per_sec > best_streamed_wall:
+                best_streamed_wall, streamed = s.merged.events_per_sec, s
         cp = res.critical_path_events_per_sec
         out["rows"].append({
             "shards": shards,
             "events_per_sec": cp,
             "wall_events_per_sec": res.merged.events_per_sec,
             "speedup": cp / base.metrics.events_per_sec,
+            "streamed_wall_events_per_sec": streamed.merged.events_per_sec,
+            "streamed_events_per_sec":
+                streamed.critical_path_events_per_sec,
+            "streamed_wall_speedup": (streamed.merged.events_per_sec
+                                      / res.merged.events_per_sec),
             "boundary_demands": res.plan["boundary_demands"],
             "boundary_fraction": res.plan["boundary_fraction"],
             "local_demands": res.plan["local_demands"],
             "accepted": res.merged.accepted,
             "realized_profit": res.merged.realized_profit,
         })
+    return out
+
+
+#: Concurrent-clients benchmark grid: front-door fan-in × backend shards.
+CLIENT_COUNTS = (1, 8, 64)
+CLIENT_SHARDS = (1, 4)
+
+
+def run_concurrent_clients_bench(smoke: bool = False) -> dict:
+    """Async front-door throughput: N concurrent clients, one service.
+
+    Each cell starts an :class:`~repro.service.async_server.
+    AsyncLineServer` over a journaled service (binary codec, group
+    commit) and drives it with N concurrent TCP clients, each feeding
+    its demand-partitioned slice of the trace in batched ``feed``
+    requests.  ``wall_events_per_sec`` is total events over the
+    first-request-to-last-response wall time — the number that shows
+    one event loop sustaining many pipelined clients without falling
+    over (the per-event work is the same shared session either way).
+    """
+    import os
+    import socket
+    import tempfile
+    import threading
+    import time
+
+    from repro.io import event_to_dict
+    from repro.online import generate_trace
+    from repro.service import AdmissionService, AsyncLineServer
+
+    events = 2_000 if smoke else 8_000
+    spec = dict(SHARDING_TRACE)
+    kind = spec.pop("kind")
+    trace = generate_trace(kind, events=events, **spec)
+    feed_batch = 64
+    out: dict = {
+        "events": len(trace.events),
+        "policy": "greedy-threshold",
+        "feed_batch": feed_batch,
+        "journal": {"fmt": "binary", "sync_window": SYNC_WINDOW},
+        "rows": [],
+    }
+
+    def partition(n: int) -> list[list]:
+        streams: list[list] = [[] for _ in range(n)]
+        for ev in trace.events:
+            d = getattr(ev, "demand_id", None)
+            streams[0 if d is None else d % n].append(ev)
+        return [[{"op": "feed",
+                  "events": [event_to_dict(e) for e in s[i:i + feed_batch]]}
+                 for i in range(0, len(s), feed_batch)]
+                for s in streams]
+
+    for shards in CLIENT_SHARDS:
+        for clients in CLIENT_COUNTS:
+            with tempfile.TemporaryDirectory() as tmp:
+                svc = AdmissionService(
+                    trace, "greedy-threshold",
+                    journal_path=os.path.join(tmp, "bench.journal"),
+                    shards=shards, fmt="binary", sync_window=SYNC_WINDOW)
+                box: dict = {}
+                ready = threading.Event()
+                server = AsyncLineServer(
+                    svc, max_clients=clients + 8,
+                    announce=lambda a: (box.update(addr=a), ready.set()))
+                st = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+                st.start()
+                ready.wait(10)
+                requests = partition(clients)
+
+                def run_client(reqs):
+                    import json as _json
+                    sock = socket.create_connection(box["addr"], timeout=60)
+                    f = sock.makefile("rw", encoding="utf-8")
+                    for req in reqs:
+                        f.write(_json.dumps(req) + "\n")
+                        f.flush()
+                        resp = _json.loads(f.readline())
+                        assert resp["ok"], resp
+                    sock.close()
+
+                threads = [threading.Thread(target=run_client, args=(r,))
+                           for r in requests]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                dt = time.perf_counter() - t0
+                server.request_shutdown()
+                st.join(10)
+                out["rows"].append({
+                    "clients": clients,
+                    "shards": shards,
+                    "wall_events_per_sec": len(trace.events) / dt,
+                    "requests": sum(len(r) for r in requests),
+                })
     return out
 
 
@@ -342,7 +464,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  shards={row['shards']}  {row['events_per_sec']:>9.0f} ev/s"
               f" (critical path)  x{row['speedup']:.2f}  boundary "
               f"{100 * row['boundary_fraction']:.1f}%  "
-              f"wall {row['wall_events_per_sec']:.0f} ev/s")
+              f"wall {row['wall_events_per_sec']:.0f} ev/s  "
+              f"streamed wall {row['streamed_wall_events_per_sec']:.0f} "
+              f"ev/s (x{row['streamed_wall_speedup']:.2f})")
+    serving = report["serving"]
+    print(f"serving ({serving['events']} events via the async front "
+          f"door, batched feed, binary journal):")
+    for row in serving["rows"]:
+        print(f"  clients={row['clients']:<3} shards={row['shards']}  "
+              f"wall {row['wall_events_per_sec']:>9.0f} ev/s")
     print(f"written to {args.output}")
     if args.check_overhead and ratio > 1.5:
         print(f"FAIL: journal_overhead_ratio x{ratio:.2f} exceeds the "

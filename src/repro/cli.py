@@ -352,8 +352,24 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=SHARD_STRATEGIES)
     srv.add_argument("--port", type=_int_arg("port", minimum=0),
                      default=None,
-                     help="serve one TCP client on this port (0 = "
-                          "ephemeral) instead of stdin/stdout")
+                     help="serve TCP clients on this port (0 = "
+                          "ephemeral) instead of stdin/stdout; "
+                          "sequential reconnects unless --async")
+    srv.add_argument("--async", action="store_true", dest="async_server",
+                     help="with --port: multiplex many concurrent "
+                          "clients on one event loop (per-connection "
+                          "backpressure, fair round-robin dispatch, "
+                          "request-id echo)")
+    srv.add_argument("--max-clients",
+                     type=_int_arg("max-clients", minimum=1), default=128,
+                     help="with --async: concurrent-connection cap "
+                          "(default: 128)")
+    srv.add_argument("--max-line-bytes",
+                     type=_int_arg("max-line-bytes", minimum=2),
+                     default=1 << 20,
+                     help="request-line byte cap; longer lines get a "
+                          'friendly {"ok": false} response '
+                          "(default: 1 MiB)")
     srv.add_argument("--sync", action="store_true",
                      help="fsync the journal at every commit "
                           "(power-loss durability; slower)")
@@ -391,8 +407,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "restart instead of finishing the trace")
     res.add_argument("--port", type=_int_arg("port", minimum=0),
                      default=None,
-                     help="with --serve: serve one TCP client on this "
+                     help="with --serve: serve TCP clients on this "
                           "port instead of stdin")
+    res.add_argument("--async", action="store_true", dest="async_server",
+                     help="with --serve --port: the concurrent "
+                          "multi-client event loop")
+    res.add_argument("--max-clients",
+                     type=_int_arg("max-clients", minimum=1), default=128,
+                     help="with --async: concurrent-connection cap "
+                          "(default: 128)")
+    res.add_argument("--max-line-bytes",
+                     type=_int_arg("max-line-bytes", minimum=2),
+                     default=1 << 20,
+                     help="request-line byte cap (default: 1 MiB)")
     res.add_argument("--sync", action="store_true",
                      help="fsync the journal at every commit")
     res.add_argument("--sync-window",
@@ -725,7 +752,7 @@ def _serve(args) -> int:
 
     from .io import load_trace
     from .online.policies import make_policy
-    from .service import AdmissionService, serve_socket, serve_stdio
+    from .service import AdmissionService
 
     policy_kwargs = _apply_policy_args({}, args.policy_arg, "serve")
     try:
@@ -750,20 +777,45 @@ def _serve(args) -> int:
           + (f", journal {args.journal}" if args.journal else "")
           + (f", {args.shards} shards" if args.shards > 1 else ""),
           file=sys.stderr)
-    if args.port is not None:
-        serve_socket(service, port=args.port,
-                     announce=lambda addr: print(
-                         f"listening on {addr[0]}:{addr[1]}",
-                         file=sys.stderr, flush=True))
-    else:
-        serve_stdio(service)
+    _run_transport(service, args)
     return 0
+
+
+def _run_transport(service, args) -> None:
+    """Pick the serve transport from the parsed flags (shared by
+    ``serve`` and ``resume --serve``)."""
+    import sys
+
+    from .service import serve_async, serve_socket, serve_stdio
+
+    if args.port is None:
+        if args.async_server:
+            raise SystemExit("serve: --async requires --port")
+        serve_stdio(service, max_line_bytes=args.max_line_bytes)
+        return
+
+    def announce(addr):
+        print(f"listening on {addr[0]}:{addr[1]}"
+              + (" (async, max-clients "
+                 f"{args.max_clients})" if args.async_server else ""),
+              file=sys.stderr, flush=True)
+
+    if args.async_server:
+        serve_async(service, port=args.port,
+                    max_clients=args.max_clients,
+                    max_line_bytes=args.max_line_bytes,
+                    announce=announce,
+                    log=lambda msg: print(f"serve: {msg}",
+                                          file=sys.stderr, flush=True))
+    else:
+        serve_socket(service, port=args.port, announce=announce,
+                     max_line_bytes=args.max_line_bytes)
 
 
 def _resume(args) -> int:
     """The ``resume`` subcommand: warm restart + finish (or keep serving)."""
     from .report import render_replay
-    from .service import AdmissionService, serve_socket, serve_stdio
+    from .service import AdmissionService
 
     try:
         service = AdmissionService.resume(
@@ -780,13 +832,7 @@ def _resume(args) -> int:
           f"{service.trace.problem.num_demands} demands)",
           file=sys.stderr)
     if args.serve:
-        if args.port is not None:
-            serve_socket(service, port=args.port,
-                         announce=lambda addr: print(
-                             f"listening on {addr[0]}:{addr[1]}",
-                             file=sys.stderr, flush=True))
-        else:
-            serve_stdio(service)
+        _run_transport(service, args)
         return 0
     result = service.run_remaining()
     print(render_replay([result.metrics]))

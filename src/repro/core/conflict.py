@@ -54,24 +54,44 @@ class ConflictIndex:
         instances: Sequence,
         global_edges: Sequence[Sequence],
         trees: Mapping[int, object] | None = None,
+        *,
+        defer_buckets: bool = False,
     ):
         if len(instances) != len(global_edges):
             raise ValueError("one edge list per instance required")
         self._instances = list(instances)
         self._edges_of: list[frozenset] = [frozenset(ge) for ge in global_edges]
-        self._by_demand: dict[int, list[int]] = {}
-        self._by_edge: dict[object, list[int]] = {}
-        for pos, (inst, ge) in enumerate(zip(self._instances, self._edges_of)):
+        for pos, inst in enumerate(self._instances):
             iid = inst.instance_id
             if iid != pos:
                 raise ValueError(
                     f"instance ids must be dense 0..N-1 in order; position "
                     f"{pos} holds id {iid}"
                 )
-            self._by_demand.setdefault(inst.demand_id, []).append(iid)
-            for e in ge:
-                self._by_edge.setdefault(e, []).append(iid)
+        self._by_demand: dict[int, list[int]] | None = None
+        self._by_edge: dict[object, list[int]] | None = None
+        if not defer_buckets:
+            self._ensure_buckets()
         self._build_arrays(global_edges, trees)
+
+    def _ensure_buckets(self) -> None:
+        """Materialize the scalar-API activity buckets.
+
+        Built eagerly by the constructor unless ``defer_buckets`` asked
+        otherwise; :meth:`sliced` views always defer them until a
+        bucket-backed query (:meth:`neighbors`) first needs them, since
+        the array-geometry paths never do.
+        """
+        if self._by_demand is not None:
+            return
+        by_demand: dict[int, list[int]] = {}
+        by_edge: dict[object, list[int]] = {}
+        for pos, (inst, ge) in enumerate(zip(self._instances, self._edges_of)):
+            by_demand.setdefault(inst.demand_id, []).append(pos)
+            for e in ge:
+                by_edge.setdefault(e, []).append(pos)
+        self._by_demand = by_demand
+        self._by_edge = by_edge
 
     def _build_arrays(self, global_edges, trees) -> None:
         """Intern edges/demands and pick the geometry for batch queries."""
@@ -122,6 +142,75 @@ class ConflictIndex:
 
     # ------------------------------------------------------------------
 
+    def sliced(self, instances: Sequence, gids: Sequence[int]) -> "ConflictIndex":
+        """A relabeled sub-population view sharing this index's geometry.
+
+        ``instances`` are the sub-population's instance objects with
+        *dense local ids* (``instance_id == position``, demand ids
+        densified — the shard-subproblem convention) and ``gids[k]`` is
+        the global instance id local instance ``k`` was sliced from.
+
+        The view reuses the parent's interned edge-id space, CSR route
+        rows, route frozensets and per-network Euler-tour indexes — all
+        immutable — so building it costs a few array gathers instead of
+        the per-instance Python loops of a from-scratch build.  Every
+        query answers exactly as a freshly built index over the same
+        sub-population would: the shared edge-id space is a superset,
+        which only widens the (never-loaded) zero tail no query observes.
+        """
+        gids_arr = np.asarray(gids, dtype=np.int64)
+        k = len(gids_arr)
+        if len(instances) != k:
+            raise ValueError("one instance per global id required")
+        out = object.__new__(ConflictIndex)
+        out._instances = list(instances)
+        out._edges_of = [self._edges_of[g] for g in gids_arr.tolist()]
+        out._by_demand = None  # lazy — see _ensure_buckets
+        out._by_edge = None
+        out._edge_index = self._edge_index
+        out.num_edges = self.num_edges
+        starts = self._indptr[gids_arr]
+        counts = self._indptr[gids_arr + 1] - starts
+        indptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        if total:
+            offsets = np.repeat(starts - indptr[:-1], counts)
+            out._flat_edges = self._flat_edges[
+                np.arange(total, dtype=np.int64) + offsets
+            ]
+        else:
+            out._flat_edges = np.zeros(0, dtype=np.int64)
+        out._indptr = indptr
+        # First-appearance demand interning, exactly as the constructor
+        # computes it (the identity map for densified demand ids).
+        demand_index: dict[int, int] = {}
+        dix = np.empty(k, dtype=np.int64)
+        for pos, inst in enumerate(out._instances):
+            if inst.instance_id != pos:
+                raise ValueError(
+                    f"instance ids must be dense 0..N-1 in order; position "
+                    f"{pos} holds id {inst.instance_id}"
+                )
+            dix[pos] = demand_index.setdefault(
+                inst.demand_id, len(demand_index)
+            )
+        out._demand_index = demand_index
+        out._dix = dix
+        out._net_arr = self._net_arr[gids_arr]
+        out._heights = self._heights[gids_arr]
+        out._geometry = self._geometry
+        if self._geometry == "interval":
+            out._starts = self._starts[gids_arr]
+            out._ends = self._ends[gids_arr]
+        elif self._geometry == "euler":
+            out._us = self._us[gids_arr]
+            out._vs = self._vs[gids_arr]
+            out._euler = self._euler  # per-network tours, shared read-only
+        return out
+
+    # ------------------------------------------------------------------
+
     def __len__(self) -> int:
         return len(self._instances)
 
@@ -159,6 +248,7 @@ class ConflictIndex:
         the sibling bucket (same demand) and the activity buckets of the
         edges on ``iid``'s route.
         """
+        self._ensure_buckets()
         inst = self._instances[iid]
         out: set[int] = set()
         for other in self._by_demand[inst.demand_id]:
@@ -326,6 +416,23 @@ class ActiveConflictSet:
         arr = np.asarray(iids, dtype=np.int64)
         if len(arr) == 0:
             return np.zeros(0, dtype=bool)
+        if len(arr) == 1:
+            # Scalar fast path: single-candidate probes dominate the
+            # online replay (one instance per demand is the common
+            # population shape), and the batched gather/segment machinery
+            # below costs ~10x the work for them.  Same comparisons, same
+            # answer, bit for bit.
+            iid = int(arr[0])
+            hit = bool(self._demand_used[idx._dix[iid]])
+            if not hit:
+                row = idx._flat_edges[idx._indptr[iid]:idx._indptr[iid + 1]]
+                if len(row):
+                    top = self._load[row].max()
+                    if self.capacities:
+                        hit = bool(top + idx._heights[iid] > 1.0 + 1e-9)
+                    else:
+                        hit = bool(top > 0.0)
+            return np.asarray([hit], dtype=bool)
         blocked = self._demand_used[idx._dix[arr]].copy()
         starts = idx._indptr[arr]
         counts = idx._indptr[arr + 1] - starts

@@ -266,10 +266,13 @@ class DualGated(AdmissionPolicy):
             slack = profits - idx._heights * route
             z = np.zeros(len(idx._demand_index))
             np.maximum.at(z, idx._dix, slack)
-            z_total = float(z.sum())
+            z_total = math.fsum(z.tolist())
         else:
             z_total = 0.0
-        return float(beta.sum()), z_total
+        # fsum: the totals must not depend on edge/demand interning
+        # order, so a sliced shard view of a shared index certifies the
+        # exact same bound as a from-scratch per-shard build.
+        return math.fsum(beta.tolist()), z_total
 
     def price_certificate(self) -> dict:
         """LP-dual upper bound certified by the price trajectory.

@@ -68,15 +68,29 @@ class CapacityLedger:
     ``penalty_adjusted_profit = realized - penalties``.
     """
 
-    def __init__(self, problem):
+    def __init__(self, problem, *, index: ConflictIndex | None = None):
         self.problem = problem
         self.instances = problem.instances()
-        edges_of = [frozenset(problem.global_edges_of(d)) for d in self.instances]
-        trees = None
-        if isinstance(problem, TreeProblem):
-            trees = {q: net for q, net in enumerate(problem.networks)}
-        #: The shared conflict index (built once; exposes the PR-1 probes).
-        self.index = ConflictIndex(self.instances, edges_of, trees=trees)
+        if index is not None:
+            # A prebuilt index over exactly this problem's instance
+            # population — e.g. a :meth:`ConflictIndex.sliced` shard view
+            # of one shared global build — skips the per-instance
+            # geometry loops the from-scratch path pays.
+            if len(index._instances) != len(self.instances):
+                raise ValueError(
+                    f"index covers {len(index._instances)} instances, "
+                    f"problem has {len(self.instances)}"
+                )
+            self.index = index
+        else:
+            edges_of = [
+                frozenset(problem.global_edges_of(d)) for d in self.instances
+            ]
+            trees = None
+            if isinstance(problem, TreeProblem):
+                trees = {q: net for q, net in enumerate(problem.networks)}
+            #: The shared conflict index (built once; the PR-1 probes).
+            self.index = ConflictIndex(self.instances, edges_of, trees=trees)
         self.active = self.index.active_set(capacities=True)
         self._candidates: dict[int, np.ndarray] = {}
         by_demand: dict[int, list[int]] = {}

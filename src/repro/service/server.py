@@ -1,19 +1,32 @@
 """Transport loops for :class:`~repro.service.AdmissionService`.
 
-One request per line, one response per line — JSON both ways.  Two
+One request per line, one response per line — JSON both ways.  Three
 transports:
 
 * :func:`serve_stdio` — requests on stdin, responses on stdout (the
   ``repro serve`` default; trivially driveable from a shell pipe or a
   subprocess harness);
-* :func:`serve_socket` — a single-client TCP loop (``repro serve
-  --port``), same line protocol over the connection.
+* :func:`serve_socket` — a **sequential** TCP loop (``repro serve
+  --port``): one client at a time, but when a client disconnects the
+  server goes back to accepting, so clients can reconnect in sequence
+  until a ``close`` request or a SIGTERM/SIGINT ends the service;
+* :class:`~repro.service.async_server.AsyncLineServer` — the
+  **concurrent** path (``repro serve --port --async``): a
+  single-threaded selectors loop multiplexing many simultaneous
+  clients with per-connection buffers, backpressure and fair
+  round-robin dispatch.  Use it whenever more than one client may be
+  connected at once.
 
-Both drain requests until the stream ends or a successful ``close``
-request arrives; they never raise on malformed input — bad JSON and
-domain errors come back as ``{"ok": false, ...}`` response lines, so
-one broken client request cannot take the service (and its journal)
-down with it.
+All transports drain requests until the stream ends or a successful
+``close`` request arrives; they never raise on malformed input — bad
+JSON and domain errors come back as ``{"ok": false, ...}`` response
+lines, so one broken client request cannot take the service (and its
+journal) down with it.  A request line longer than ``max_line_bytes``
+is answered with a friendly ``{"ok": false}`` over-limit response
+instead of being parsed.  On SIGTERM/SIGINT the socket transports
+flush the journal's group-commit window before returning, so every
+acknowledged event is on disk and ``repro resume`` picks up exactly
+where the stream stopped.
 
 High-throughput clients should prefer the batched ``feed`` op —
 ``{"op": "feed", "events": [{...}, ...]}`` — over per-event ``submit``
@@ -25,22 +38,41 @@ window cover the whole batch (see
 from __future__ import annotations
 
 import json
+import signal
 import socket
 import sys
+import threading
 
 from .service import AdmissionService
 
 __all__ = ["serve_lines", "serve_socket", "serve_stdio"]
 
+#: Default request-line byte cap (also the async server's default).
+MAX_LINE_BYTES = 1 << 20
 
-def serve_lines(service: AdmissionService, lines, emit) -> dict | None:
+
+def _overlimit_response(limit: int) -> dict:
+    return {
+        "ok": False,
+        "error": (f"request line exceeds {limit} bytes; "
+                  "split the batch or raise --max-line-bytes"),
+    }
+
+
+def serve_lines(service: AdmissionService, lines, emit, *,
+                max_line_bytes: int = MAX_LINE_BYTES) -> dict | None:
     """The shared loop: JSON-decode each line, handle, emit the response.
 
     Returns the ``close`` response when one was served, else ``None``
     (the input stream ended first — the journal then carries whatever
-    was applied, ready for ``repro resume``).
+    was applied, ready for ``repro resume``).  Lines longer than
+    ``max_line_bytes`` are rejected with an ``{"ok": false}`` response
+    without being parsed.
     """
     for line in lines:
+        if len(line) > max_line_bytes + 1:  # +1: the newline itself
+            emit(_overlimit_response(max_line_bytes))
+            continue
         line = line.strip()
         if not line:
             continue
@@ -59,8 +91,8 @@ def serve_lines(service: AdmissionService, lines, emit) -> dict | None:
     return None
 
 
-def serve_stdio(service: AdmissionService, infile=None,
-                outfile=None) -> dict | None:
+def serve_stdio(service: AdmissionService, infile=None, outfile=None, *,
+                max_line_bytes: int = MAX_LINE_BYTES) -> dict | None:
     """Serve line requests from ``infile`` (default stdin) to
     ``outfile`` (default stdout), flushing every response."""
     infile = sys.stdin if infile is None else infile
@@ -70,27 +102,105 @@ def serve_stdio(service: AdmissionService, infile=None,
         outfile.write(json.dumps(doc) + "\n")
         outfile.flush()
 
-    return serve_lines(service, infile, emit)
+    return serve_lines(service, infile, emit,
+                       max_line_bytes=max_line_bytes)
 
 
 def serve_socket(service: AdmissionService, host: str = "127.0.0.1",
-                 port: int = 0, *, announce=None) -> dict | None:
-    """Serve one TCP client with the line protocol.
+                 port: int = 0, *, announce=None,
+                 max_line_bytes: int = MAX_LINE_BYTES) -> dict | None:
+    """Serve TCP clients sequentially with the line protocol.
+
+    One client is served at a time; when it disconnects the server
+    accepts the next, so a harness can reconnect repeatedly against the
+    same journaled session.  The loop ends on a successful ``close``
+    request or on SIGTERM/SIGINT — either way the journal's
+    group-commit window is flushed before returning, so everything
+    acknowledged is durable and ``repro resume`` continues from the
+    exact stream position.  For *simultaneous* clients use ``repro
+    serve --async`` (:class:`~repro.service.async_server.
+    AsyncLineServer`) instead.
 
     ``port=0`` binds an ephemeral port; ``announce`` (a callable given
-    the bound ``(host, port)``) runs before the blocking accept, so
+    the bound ``(host, port)``) runs before the first accept, so
     harnesses can discover where to connect.
     """
-    with socket.create_server((host, port)) as server:
-        if announce is not None:
-            announce(server.getsockname()[:2])
-        conn, _addr = server.accept()
-        with conn:
-            rfile = conn.makefile("r", encoding="utf-8")
-            wfile = conn.makefile("w", encoding="utf-8")
+    stop = threading.Event()
+    restore: list[tuple[int, object]] = []
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                restore.append((sig, signal.signal(
+                    sig, lambda *_: stop.set())))
+            except (ValueError, OSError):
+                pass
+    try:
+        with socket.create_server((host, port)) as server:
+            if announce is not None:
+                announce(server.getsockname()[:2])
+            server.settimeout(0.2)  # poll the stop flag between accepts
+            while not stop.is_set():
+                try:
+                    conn, _addr = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                with conn:
+                    def emit(doc: dict) -> None:
+                        conn.sendall((json.dumps(doc) + "\n").encode())
 
-            def emit(doc: dict) -> None:
-                wfile.write(json.dumps(doc) + "\n")
-                wfile.flush()
+                    try:
+                        resp = serve_lines(
+                            service,
+                            _socket_lines(conn, stop, max_line_bytes, emit),
+                            emit, max_line_bytes=max_line_bytes)
+                    except OSError:
+                        resp = None  # client vanished mid-request
+                    if resp is not None:
+                        return resp
+            # Signalled (or listener died): make everything acknowledged
+            # durable before handing control back.
+            if service.journal is not None and not service.session.closed:
+                service.journal.commit()
+            return None
+    finally:
+        for sig, old in restore:
+            signal.signal(sig, old)
 
-            return serve_lines(service, rfile, emit)
+
+def _socket_lines(conn, stop, max_line_bytes, emit):
+    """Yield request lines from ``conn``, polling ``stop`` so a signal
+    interrupts a blocked read, and discarding (with an ``{"ok": false}``
+    response) any line that outgrows ``max_line_bytes`` before its
+    newline arrives."""
+    conn.settimeout(0.2)
+    buf = bytearray()
+    overflow = False
+    while True:
+        nl = buf.find(b"\n")
+        if nl >= 0:
+            line = bytes(buf[:nl])
+            del buf[:nl + 1]
+            if overflow:
+                overflow = False  # the newline ends the oversized line
+                continue
+            yield line.decode("utf-8", "replace")
+            continue
+        if overflow:
+            buf.clear()
+        elif len(buf) > max_line_bytes:
+            overflow = True
+            buf.clear()
+            emit(_overlimit_response(max_line_bytes))
+        if stop.is_set():
+            return
+        try:
+            chunk = conn.recv(65536)
+        except socket.timeout:
+            continue
+        except OSError:
+            return
+        if not chunk:
+            return
+        buf += chunk

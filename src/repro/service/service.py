@@ -409,7 +409,17 @@ class AdmissionService:
         Domain errors (unknown demands, duplicate arrivals, bad ops,
         submitting after close) come back as ``{"ok": false, "error":
         ...}`` responses — the service never half-applies a request.
+
+        A request may carry an ``id`` (any JSON value); the response
+        echoes it verbatim — success or error — so pipelined clients
+        can match responses to requests out of order.
         """
+        resp = self._handle_op(req)
+        if "id" in req:
+            resp["id"] = req["id"]
+        return resp
+
+    def _handle_op(self, req: dict) -> dict:
         op = req.get("op")
         try:
             if op in ("submit", "admit", "release", "tick"):
@@ -467,6 +477,7 @@ class AdmissionService:
         if self.journal is not None:
             doc["seq"] = self.journal.seq
             doc["commit_seq"] = self.journal.commit_seq
+            doc["commit_lag"] = self.journal.seq - self.journal.commit_seq
         if self.sharded is not None:
             rows = []
             for s in range(self.sharded.plan.n_shards):

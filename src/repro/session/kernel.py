@@ -293,16 +293,40 @@ class AdmissionSession:
         construction are measurable at benchmark event rates)."""
         self._dispatch(event)
 
-    def feed_many(self, events) -> None:
+    def feed_many(self, events, *, progress_hook=None,
+                  progress_every: int = 1) -> None:
         """:meth:`feed` a whole batch in one call.
 
         The batched hot path the replay drivers and the service's
         ``feed`` op use: one method call (and, upstream, one request
         decode and one journal commit) amortized over the batch.
+
+        ``progress_hook(done)`` — when given — is called after every
+        ``progress_every`` events (and once more at the end if the batch
+        size is not a multiple) with the number of events applied so
+        far.  The streamed sharded driver uses it as its watermark
+        feed: a shard worker reports how far its stream has advanced so
+        the boundary broker can decide cut-crossing demands whose
+        arrival time every shard has passed.  The hook runs outside the
+        per-event latency window but inside the batch, so it must be
+        cheap; ``None`` keeps the historical zero-overhead loop.
         """
         dispatch = self._dispatch
+        if progress_hook is None:
+            for event in events:
+                dispatch(event)
+            return
+        if progress_every < 1:
+            raise ValueError(
+                f"progress_every must be >= 1, got {progress_every}")
+        done = 0
         for event in events:
             dispatch(event)
+            done += 1
+            if done % progress_every == 0:
+                progress_hook(done)
+        if done % progress_every:
+            progress_hook(done)
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -14,19 +14,30 @@ Layering (bottom-up):
 * :mod:`~repro.sharding.driver` — :class:`ShardedDriver`: phase-A
   process-pool replay of the local sub-traces through unmodified
   policies, phase-B serialized boundary replay, merged + verified
-  metrics.
+  metrics;
+* :mod:`~repro.sharding.streaming` — :class:`StreamedShardedDriver`:
+  one shared conflict-index build serving every shard
+  (:class:`SharedGeometry` + sliced views), fork workers streaming
+  per-event deltas and watermarks over queues, and an optional eager
+  boundary mode that decides cut-crossers as soon as every shard's
+  watermark passes their arrival time.
 """
 
 from .driver import ShardedDriver, ShardedReplayResult
 from .ledger import BoundaryBroker, ShardedLedger
 from .planner import SHARD_STRATEGIES, ShardPlan, ShardPlanner
+from .streaming import (SharedGeometry, StreamedReplayResult,
+                        StreamedShardedDriver)
 
 __all__ = [
     "SHARD_STRATEGIES",
     "BoundaryBroker",
     "ShardPlan",
     "ShardPlanner",
+    "SharedGeometry",
     "ShardedDriver",
     "ShardedLedger",
     "ShardedReplayResult",
+    "StreamedReplayResult",
+    "StreamedShardedDriver",
 ]
