@@ -1,0 +1,29 @@
+"""Static analysis: the ``repro lint`` invariant checker.
+
+An AST-walking lint framework enforcing the codebase's hard-won
+contracts — bit-exact determinism, ``math.fsum`` certificate
+accumulation, ``export_state``/``restore_state`` symmetry, a
+non-blocking event loop, fork-safe shard workers, a drift-free wire
+protocol, and honest ``__all__`` surfaces.  See ``repro lint --help``
+and ``repro lint --explain RULE``.
+"""
+
+from .base import Fixture, ProjectContext, Rule, get_rule, iter_rules
+from .findings import Finding, parse_suppressions
+from .runner import (LintReport, lint_fixture, lint_paths, lint_project,
+                     render_explain)
+
+__all__ = [
+    "Finding",
+    "Fixture",
+    "LintReport",
+    "ProjectContext",
+    "Rule",
+    "get_rule",
+    "iter_rules",
+    "lint_fixture",
+    "lint_paths",
+    "lint_project",
+    "parse_suppressions",
+    "render_explain",
+]

@@ -1,0 +1,159 @@
+"""Rule registry, fixtures, and the project context rules run against.
+
+Every rule is a subclass of :class:`Rule` registered with
+:func:`register`.  File-scope rules see one parsed module at a time;
+project-scope rules (cross-file contracts like protocol drift) see the
+whole :class:`ProjectContext` once.
+
+Each rule carries :class:`Fixture` snippets — a minimal *bad* example
+that must trip the rule and a *good* counterpart that must not.  The
+same fixtures back ``repro lint --explain RULE`` and the positive /
+negative cases in ``tests/test_analysis.py``, so the documentation can
+never drift from what the rule actually flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Fixture", "ProjectContext", "Rule", "RULES", "get_rule",
+           "iter_rules", "register"]
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """A bad/good snippet pair demonstrating one rule.
+
+    ``bad`` and ``good`` are either one source string (placed at the
+    rule's ``default_path`` in a synthetic project) or a mapping of
+    relative path -> content for cross-file rules.
+    """
+
+    bad: object
+    good: object
+    note: str = ""
+
+
+@dataclass
+class ParsedFile:
+    """One linted module: path, AST, raw source."""
+
+    path: Path
+    tree: ast.Module
+    source: str
+
+
+@dataclass
+class ProjectContext:
+    """Everything a project-scope rule may inspect.
+
+    ``files`` maps each linted path to its parse; ``texts`` carries
+    non-Python documents (README.md in fixtures).  ``read_text`` checks
+    ``texts`` before the filesystem so synthetic fixture projects work
+    without touching disk.
+    """
+
+    root: Path
+    files: dict = field(default_factory=dict)
+    texts: dict = field(default_factory=dict)
+
+    def read_text(self, path: Path):
+        key = str(path)
+        if key in self.texts:
+            return self.texts[key]
+        rel = None
+        try:
+            rel = str(path.relative_to(self.root))
+        except ValueError:
+            pass
+        if rel is not None and rel in self.texts:
+            return self.texts[rel]
+        try:
+            return path.read_text()
+        except OSError:
+            return None
+
+    def find(self, suffix: str):
+        """The parsed files whose path ends with ``suffix``."""
+        return [pf for path, pf in sorted(self.files.items())
+                if str(path).endswith(suffix)]
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement one check."""
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+    scope: str = "file"  # "file" | "project"
+    #: Where a bare-string fixture is placed in the synthetic project.
+    default_path: str = "module.py"
+    fixtures: list = []
+
+    def check_file(self, parsed: ParsedFile):
+        """Yield findings for one module (file-scope rules)."""
+        return ()
+
+    def check_project(self, ctx: ProjectContext):
+        """Yield findings for the whole tree (project-scope rules)."""
+        return ()
+
+
+RULES: dict = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def iter_rules():
+    """Registered rules in id order."""
+    for rule_id in sorted(RULES):
+        yield RULES[rule_id]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def in_packages(path: Path, names) -> bool:
+    """True when any path component is one of ``names``."""
+    parts = set(Path(path).parts)
+    return bool(parts & set(names))
+
+
+def call_name(node: ast.expr):
+    """Dotted name of a call target: ``math.fsum(...)`` -> "math.fsum"."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def const_str(node) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

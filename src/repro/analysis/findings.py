@@ -1,0 +1,96 @@
+"""The lint finding model and per-line noqa suppressions.
+
+A :class:`Finding` is one rule violation pinned to ``file:line:col``.
+Suppressions are per-line comments of the form ``repro: noqa`` with
+the rule id in square brackets, a ``--`` separator, and a written
+justification::
+
+    risky_line()  # repro: noqa[DET001] -- ordering is re-sorted below
+
+The justification after ``--`` is **mandatory**: a justification-free
+noqa comment suppresses nothing and instead raises its own ``NOQA001``
+finding, so every silenced warning in the tree documents why it is
+safe.  Multiple rules may share one comment by separating the ids
+with commas inside the brackets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "Suppressions", "parse_suppressions"]
+
+#: ``# repro: noqa[RULE,...] -- justification``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]\s*(?:--\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class Suppressions:
+    """Per-line suppression table for one source file."""
+
+    def __init__(self, by_line: dict, bad_lines: list):
+        self._by_line = by_line
+        self._bad_lines = bad_lines
+
+    def covers(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is validly suppressed on ``line``."""
+        return rule in self._by_line.get(line, ())
+
+    def unjustified(self, path: str):
+        """``NOQA001`` findings for every justification-free noqa."""
+        for line in self._bad_lines:
+            yield Finding(
+                path=path, line=line, col=0, rule="NOQA001",
+                message=("suppression is missing its justification: "
+                         "write '# repro: noqa[RULE] -- why it is safe'"),
+            )
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every noqa comment from ``source``, keyed by line.
+
+    A noqa written on a statement line covers that line.  A noqa on a
+    standalone comment line covers the next non-blank, non-comment
+    line, so multi-line justifications can sit above the code they
+    excuse without stretching it past the line-length budget.
+    """
+    lines = source.splitlines()
+    by_line: dict = {}
+    bad_lines: list = []
+    for lineno, text in enumerate(lines, start=1):
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        if not m.group(2):
+            bad_lines.append(lineno)
+            continue
+        rules = {part.strip() for part in m.group(1).split(",")
+                 if part.strip()}
+        target = lineno
+        if text.lstrip().startswith("#"):
+            for nxt in range(lineno, len(lines)):
+                follow = lines[nxt].strip()
+                if follow and not follow.startswith("#"):
+                    target = nxt + 1
+                    break
+        by_line.setdefault(target, set()).update(rules)
+    return Suppressions(by_line, bad_lines)

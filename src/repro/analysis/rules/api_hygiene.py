@@ -1,0 +1,152 @@
+"""API hygiene: ``__all__`` must match what a package actually exports.
+
+``__all__`` is the public contract: it drives ``import *``, doc
+tooling, and reviewers' sense of the surface area.  Two failure modes:
+a name listed but never bound (an ``ImportError`` waiting inside
+``import *``), and a public binding not listed (an accidental export —
+or an accidentally private API).  Package ``__init__.py`` files exist
+only to curate the surface, so there the rule also requires ``__all__``
+to be present and complete.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Fixture, ParsedFile, Rule, const_str, register
+from ..findings import Finding
+
+__all__ = ["ApiHygieneRule"]
+
+
+def _module_bindings(tree: ast.Module):
+    """(bound names, public from-import/def names, star_import, all_node)."""
+    bound: set = set()
+    public: set = set()
+    star = False
+    all_node = None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(node.name)
+            if not node.name.startswith("_"):
+                public.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    bound.add(t.id)
+                    if t.id == "__all__":
+                        all_node = node
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    star = True
+                    continue
+                name = alias.asname or alias.name
+                bound.add(name)
+                if not name.startswith("_"):
+                    public.add(name)
+    return bound, public, star, all_node
+
+
+def _all_entries(all_node: ast.Assign):
+    """(entries with line numbers, static) from the __all__ literal."""
+    value = all_node.value
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return [], False
+    entries = []
+    for elt in value.elts:
+        text = const_str(elt)
+        if text is None:
+            return [], False
+        entries.append((text, elt.lineno, elt.col_offset))
+    return entries, True
+
+
+@register
+class ApiHygieneRule(Rule):
+    id = "API001"
+    name = "all-vs-public-defs"
+    rationale = (
+        "__all__ is the public contract: a listed-but-unbound name "
+        "breaks `import *` with an ImportError, and a public binding "
+        "missing from the list is an export nobody decided on.  In "
+        "package __init__.py files — which exist only to curate the "
+        "surface — __all__ must be present and must exactly cover the "
+        "public bindings."
+    )
+    scope = "file"
+    default_path = "pkg/__init__.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "from .kernel import AdmissionSession, Decision\n"
+                "\n"
+                "__all__ = ['AdmissionSession', 'Decision', 'ReplayResult']\n"
+            ),
+            good=(
+                "from .kernel import AdmissionSession, Decision\n"
+                "\n"
+                "__all__ = ['AdmissionSession', 'Decision']\n"
+            ),
+            note="'ReplayResult' is exported but never imported: "
+                 "`import *` raises ImportError",
+        ),
+        Fixture(
+            bad=(
+                "from .kernel import AdmissionSession, Decision\n"
+                "\n"
+                "__all__ = ['AdmissionSession']\n"
+            ),
+            good=(
+                "from .kernel import AdmissionSession, Decision\n"
+                "\n"
+                "__all__ = ['AdmissionSession', 'Decision']\n"
+            ),
+            note="Decision is publicly imported but unlisted — an export "
+                 "nobody decided on",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        path = str(parsed.path)
+        is_init = path.endswith("__init__.py")
+        bound, public, star, all_node = _module_bindings(parsed.tree)
+        if all_node is None:
+            if is_init and public:
+                yield Finding(
+                    path=path, line=1, col=0, rule=self.id,
+                    message=("package __init__.py has public bindings but "
+                             "no __all__; the export surface must be "
+                             "explicit"),
+                )
+            return
+        entries, static = _all_entries(all_node)
+        if not static:
+            return  # dynamically built __all__: nothing provable
+        names = {name for name, _, _ in entries}
+        if not star:
+            for name, line, col in entries:
+                if name not in bound:
+                    yield Finding(
+                        path=path, line=line, col=col, rule=self.id,
+                        message=(f"__all__ lists {name!r} but the module "
+                                 "never binds it; `import *` would raise "
+                                 "ImportError"),
+                    )
+        if is_init:
+            for name in sorted(public - names):
+                yield Finding(
+                    path=path, line=all_node.lineno, col=all_node.col_offset,
+                    rule=self.id,
+                    message=(f"public name {name!r} is bound in this "
+                             "__init__.py but missing from __all__"),
+                )

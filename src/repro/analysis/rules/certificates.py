@@ -1,0 +1,133 @@
+"""Certificate safety: float accumulation must be ``math.fsum``.
+
+PR 7's bug class: a dual certificate summed with ``sum()`` (or a
+``+=`` loop) depends on accumulation order, so two runs that intern
+edges or merge shards in different orders report different bounds —
+and the sharded/unsharded equivalence tests compare those bounds
+exactly.  ``math.fsum`` is exactly rounded, hence order-independent:
+the same multiset of floats always produces the same total.
+
+The rule flags order-sensitive accumulation of *money-like* floats
+(profit, price, dual, penalty, bound, certificate, cost...) in the
+packages that produce or merge certificates.  NumPy array reductions
+(``arr.sum()``) are exempt: pairwise summation over a fixed array
+layout is deterministic for a given array.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..base import Fixture, ParsedFile, Rule, call_name, in_packages, register
+from ..findings import Finding
+
+__all__ = ["FsumRule"]
+
+#: Identifiers marking a float stream as certificate/accounting data.
+_MONEY = re.compile(
+    r"profit|price|dual|penalt|bound|cert|realized|forfeit|withdraw|cost",
+    re.IGNORECASE,
+)
+
+_SCOPED_PACKAGES = ("core", "online", "session", "sharding", "service")
+
+
+def _mentions_money(node: ast.expr) -> bool:
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+        elt = node.elt
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+            return False  # sum(1 for ...) counts; it never rounds
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _MONEY.search(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _MONEY.search(sub.attr):
+            return True
+    return False
+
+
+def _target_name(node: ast.expr):
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class FsumRule(Rule):
+    id = "CERT001"
+    name = "fsum-certificate-accumulation"
+    rationale = (
+        "Dual certificates and profit accounting are compared exactly "
+        "across shard counts, transports and resume boundaries, so "
+        "their float totals must not depend on accumulation order.  "
+        "Plain sum() and += loops round at every step; math.fsum is "
+        "exactly rounded, so any ordering of the same values gives the "
+        "same total.  Collect the terms and fsum them."
+    )
+    scope = "file"
+    default_path = "online/fixture.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "def merged_bound(shard_certs):\n"
+                "    return sum(shard_certs)\n"
+            ),
+            good=(
+                "import math\n"
+                "def merged_bound(shard_certs):\n"
+                "    return math.fsum(shard_certs)\n"
+            ),
+            note="per-shard dual bounds merge into one global bound; "
+                 "fsum makes the merge order irrelevant",
+        ),
+        Fixture(
+            bad=(
+                "def victim_cost(victims, profits):\n"
+                "    cost = 0.0\n"
+                "    for v in victims:\n"
+                "        cost += profits[v]\n"
+                "    return cost\n"
+            ),
+            good=(
+                "import math\n"
+                "def victim_cost(victims, profits):\n"
+                "    return math.fsum(profits[v] for v in victims)\n"
+            ),
+            note="a += loop is sum() in disguise: same per-step rounding",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        if not in_packages(parsed.path, _SCOPED_PACKAGES):
+            return
+        loops = [n for n in ast.walk(parsed.tree)
+                 if isinstance(n, (ast.For, ast.While))]
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.Call) and call_name(node) == "sum":
+                if node.args and _mentions_money(node.args[0]):
+                    yield Finding(
+                        path=str(parsed.path), line=node.lineno,
+                        col=node.col_offset, rule=self.id,
+                        message=("sum() over certificate/accounting floats "
+                                 "is order-sensitive; use math.fsum"),
+                    )
+        seen: set = set()
+        for loop in loops:
+            for node in ast.walk(loop):
+                if (isinstance(node, ast.AugAssign)
+                        and isinstance(node.op, ast.Add)
+                        and id(node) not in seen):
+                    seen.add(id(node))
+                    name = _target_name(node.target)
+                    if (name is not None and _MONEY.search(name)
+                            and not isinstance(node.value, ast.Constant)):
+                        yield Finding(
+                            path=str(parsed.path), line=node.lineno,
+                            col=node.col_offset, rule=self.id,
+                            message=(f"'{name} +=' accumulates "
+                                     "certificate/accounting floats in "
+                                     "loop order; collect the terms and "
+                                     "math.fsum them"),
+                        )

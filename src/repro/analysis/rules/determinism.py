@@ -1,0 +1,299 @@
+"""Determinism rules: ordering, randomness, wall clocks.
+
+The replay contract is bit-exact determinism: the same trace and policy
+must produce the same admissions on every host, every run, sharded or
+not.  Three ways code breaks that contract statically:
+
+* iterating a ``set``/``frozenset`` (or a dict keyed by ``id()``) into
+  ordered output — Python set order is hash-seed dependent;
+* drawing from the process-global ``random`` / ``numpy.random`` state,
+  which any import may have touched;
+* reading the wall clock inside decision paths — replays at different
+  times would diverge.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Fixture, ParsedFile, Rule, call_name, in_packages, register
+from ..findings import Finding
+
+__all__ = ["SetIterationRule", "UnseededRandomRule", "WallClockRule"]
+
+#: Packages whose modules feed ordered, replayed output.
+_ORDERED_PACKAGES = ("core", "session", "sharding", "service", "online")
+
+#: Consumers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = {
+    "sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset",
+    "math.fsum", "fsum", "dict",
+}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    name = call_name(node)
+    if name in ("set", "frozenset"):
+        return True
+    # set algebra on calls: set(a) | set(b), a & b over set() calls
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr,
+                                                            ast.BitAnd,
+                                                            ast.Sub)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _id_keyed_names(tree: ast.Module):
+    """Names of dicts subscripted with ``id(...)`` anywhere in the module."""
+    names = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Subscript)
+                and call_name(node.slice) == "id"
+                and isinstance(node.slice, ast.Call)):
+            target = node.value
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
+
+
+@register
+class SetIterationRule(Rule):
+    id = "DET001"
+    name = "set-iteration-order"
+    rationale = (
+        "Iterating a set/frozenset (or a dict keyed by id()) feeds "
+        "hash-seed-dependent order into replayed output; admissions, "
+        "logs and merged metrics must be byte-identical across runs. "
+        "Wrap the iterable in sorted(...) or consume it with an "
+        "order-insensitive reducer (sum/min/max/any/all/math.fsum)."
+    )
+    scope = "file"
+    default_path = "core/fixture.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "def admitted_rows(admitted):\n"
+                "    rows = []\n"
+                "    for d in set(admitted):\n"
+                "        rows.append(d)\n"
+                "    return rows\n"
+            ),
+            good=(
+                "def admitted_rows(admitted):\n"
+                "    rows = []\n"
+                "    for d in sorted(set(admitted)):\n"
+                "        rows.append(d)\n"
+                "    return rows\n"
+            ),
+            note="sorted(...) pins the order; bare set iteration does not",
+        ),
+        Fixture(
+            bad=(
+                "def snapshot(items):\n"
+                "    cache = {}\n"
+                "    for it in items:\n"
+                "        cache[id(it)] = it\n"
+                "    return [cache[k] for k in cache]\n"
+            ),
+            good=(
+                "def snapshot(items):\n"
+                "    return list(items)\n"
+            ),
+            note="id() values vary per process: keying a dict on them "
+                 "makes its order irreproducible",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        if not in_packages(parsed.path, _ORDERED_PACKAGES):
+            return
+        id_keyed = _id_keyed_names(parsed.tree)
+        safe_iters = set()
+        for node in ast.walk(parsed.tree):
+            if (isinstance(node, ast.Call)
+                    and call_name(node) in _ORDER_INSENSITIVE):
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                        ast.SetComp)):
+                        for gen in arg.generators:
+                            safe_iters.add(id(gen.iter))
+                    else:
+                        safe_iters.add(id(arg))
+        for node in ast.walk(parsed.tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if id(it) in safe_iters:
+                    continue
+                if _is_set_expr(it):
+                    yield Finding(
+                        path=str(parsed.path), line=it.lineno,
+                        col=it.col_offset, rule=self.id,
+                        message=("iteration over a set feeds ordered "
+                                 "output; wrap in sorted(...) or use an "
+                                 "order-insensitive reducer"),
+                    )
+                    continue
+                base = it
+                if (isinstance(base, ast.Call)
+                        and isinstance(base.func, ast.Attribute)
+                        and base.func.attr in ("items", "keys", "values")):
+                    base = base.func.value
+                name = (base.id if isinstance(base, ast.Name)
+                        else base.attr if isinstance(base, ast.Attribute)
+                        else None)
+                if name is not None and name in id_keyed:
+                    yield Finding(
+                        path=str(parsed.path), line=it.lineno,
+                        col=it.col_offset, rule=self.id,
+                        message=(f"iteration over {name!r}, a dict keyed "
+                                 "by id(): its order varies per process"),
+                    )
+
+
+#: Process-global RNG entry points (the seeded-instance APIs are fine).
+_GLOBAL_RNG = {
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.choices", "random.sample", "random.shuffle", "random.uniform",
+    "random.gauss", "random.seed",
+    "np.random.random", "np.random.rand", "np.random.randn",
+    "np.random.randint", "np.random.choice", "np.random.shuffle",
+    "np.random.permutation", "np.random.uniform", "np.random.seed",
+    "numpy.random.random", "numpy.random.rand", "numpy.random.randn",
+    "numpy.random.randint", "numpy.random.choice", "numpy.random.shuffle",
+    "numpy.random.permutation", "numpy.random.uniform", "numpy.random.seed",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    id = "DET002"
+    name = "unseeded-random"
+    rationale = (
+        "The module-level random / numpy.random state is shared by the "
+        "whole process: any import or library call may advance it, so "
+        "draws from it are not reproducible.  Use an explicitly seeded "
+        "random.Random(seed) or numpy.random.default_rng(seed) instance "
+        "instead; default_rng() without a seed is equally unreproducible."
+    )
+    scope = "file"
+    default_path = "core/fixture.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "import random\n"
+                "def jitter():\n"
+                "    return random.random()\n"
+            ),
+            good=(
+                "import random\n"
+                "def jitter(seed):\n"
+                "    return random.Random(seed).random()\n"
+            ),
+            note="a seeded instance owns its stream; the module-level "
+                 "state belongs to everyone",
+        ),
+        Fixture(
+            bad=(
+                "import numpy as np\n"
+                "def pick(n):\n"
+                "    rng = np.random.default_rng()\n"
+                "    return rng.integers(n)\n"
+            ),
+            good=(
+                "import numpy as np\n"
+                "def pick(n, seed):\n"
+                "    rng = np.random.default_rng(seed)\n"
+                "    return rng.integers(n)\n"
+            ),
+            note="default_rng() pulls OS entropy; default_rng(seed) replays",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _GLOBAL_RNG:
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f"{name}() draws from the process-global RNG "
+                             "state; use a seeded instance"),
+                )
+            elif (name is not None and name.endswith("default_rng")
+                  and not node.args and not node.keywords):
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=("default_rng() without a seed is "
+                             "unreproducible; pass an explicit seed"),
+                )
+
+
+#: Wall-clock reads.  perf_counter/monotonic are fine: they only ever
+#: feed timing metrics, which the equivalence tests already exclude.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.localtime", "time.ctime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET003"
+    name = "wall-clock-in-decision-path"
+    rationale = (
+        "Decision paths must be a pure function of (event sequence, "
+        "policy config): a wall-clock read makes the replay depend on "
+        "when it runs, so a journal resumed tomorrow could diverge from "
+        "the run that wrote it.  Event time comes from the trace; "
+        "latency timing uses time.perf_counter, which never feeds "
+        "decisions or the deterministic metrics projection."
+    )
+    scope = "file"
+    default_path = "session/fixture.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "import time\n"
+                "def on_arrival(demand):\n"
+                "    deadline = time.time() + 5.0\n"
+                "    return deadline\n"
+            ),
+            good=(
+                "def on_arrival(demand, event_time):\n"
+                "    deadline = event_time + 5.0\n"
+                "    return deadline\n"
+            ),
+            note="the trace carries event time; the host clock does not "
+                 "replay",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        if not in_packages(parsed.path, _ORDERED_PACKAGES):
+            return
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _WALL_CLOCK:
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f"{name}() reads the wall clock in a "
+                             "decision-path package; replays must not "
+                             "depend on when they run"),
+                )

@@ -1,0 +1,185 @@
+"""Event-loop safety for the async front door.
+
+``AsyncLineServer`` is one single-threaded ``selectors`` loop: any
+call that can block — a sleep, a ``recv``/``accept`` on a socket the
+selector did not just report ready (or that is not guarded for the
+spurious-wakeup case), an ``fsync`` inside per-request dispatch —
+stalls *every* connected client at once.  The contract in code:
+
+* sockets are non-blocking; ``recv``/``accept`` sit inside a ``try``
+  that catches ``BlockingIOError`` (or ``OSError``, its parent), so a
+  spurious readiness report cannot hang the loop;
+* ``time.sleep`` / ``settimeout`` / ``setblocking(True)`` never appear;
+* ``sendall`` (a loop-until-sent blocking call) and ``fsync`` stay off
+  the dispatch path — writes go through the buffered ``_emit``/
+  ``_flush`` machinery and durability through the journal's group
+  commit at drain time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Fixture, ParsedFile, Rule, call_name, register
+from ..findings import Finding
+
+__all__ = ["EventLoopRule"]
+
+_BLOCKING_SOCKET_METHODS = {"accept", "recv", "recvfrom", "recv_into"}
+
+#: Per-request dispatch functions where an fsync would serialize every
+#: client behind one disk flush.
+_DISPATCH_FUNCS = {"_serve_line", "_dispatch_round_robin", "_ingest",
+                   "_read", "_flush", "_emit"}
+
+_GUARD_NAMES = {"BlockingIOError", "OSError", "InterruptedError",
+                "ConnectionError", "Exception", "BaseException"}
+
+
+def _handler_names(handler: ast.ExceptHandler):
+    t = handler.type
+    if t is None:
+        return {"BaseException"}
+    exprs = t.elts if isinstance(t, ast.Tuple) else [t]
+    names = set()
+    for e in exprs:
+        if isinstance(e, ast.Name):
+            names.add(e.id)
+        elif isinstance(e, ast.Attribute):
+            names.add(e.attr)
+    return names
+
+
+def _collect_guarded(tree: ast.Module):
+    """ids of nodes lexically inside a try guarded for BlockingIOError."""
+    guarded: set = set()
+
+    def visit(node: ast.AST, covered: bool) -> None:
+        if isinstance(node, ast.Try):
+            body_covered = covered or any(
+                _handler_names(h) & _GUARD_NAMES for h in node.handlers)
+            for child in node.body:
+                visit(child, body_covered)
+            for part in (node.handlers, node.orelse, node.finalbody):
+                for child in part:
+                    visit(child, covered)
+            return
+        if covered:
+            guarded.add(id(node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, covered)
+
+    visit(tree, False)
+    return guarded
+
+
+@register
+class EventLoopRule(Rule):
+    id = "LOOP001"
+    name = "event-loop-blocking-call"
+    rationale = (
+        "The async server is one thread multiplexing every client: a "
+        "single blocking call — time.sleep, a recv/accept that can "
+        "hang on a spurious readiness report, sendall's loop-until-"
+        "sent, an fsync inside per-request dispatch — stalls the whole "
+        "front door.  Sockets stay non-blocking, recv/accept sit under "
+        "a BlockingIOError guard, writes go through the buffered flush "
+        "path, and durability happens at group-commit drain time."
+    )
+    scope = "file"
+    default_path = "service/async_server.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "def _read(self, conn):\n"
+                "    chunk = conn.sock.recv(65536)\n"
+                "    self._ingest(conn, chunk)\n"
+            ),
+            good=(
+                "def _read(self, conn):\n"
+                "    try:\n"
+                "        chunk = conn.sock.recv(65536)\n"
+                "    except BlockingIOError:\n"
+                "        return\n"
+                "    self._ingest(conn, chunk)\n"
+            ),
+            note="a selector readiness report may be spurious; only the "
+                 "BlockingIOError guard keeps the loop unstallable",
+        ),
+        Fixture(
+            bad=(
+                "import time\n"
+                "def _dispatch_round_robin(self):\n"
+                "    time.sleep(0.01)\n"
+            ),
+            good=(
+                "def _dispatch_round_robin(self):\n"
+                "    pass  # backpressure is selector interest, not sleep\n"
+            ),
+            note="sleeping in the loop freezes every connected client",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        if not str(parsed.path).endswith("async_server.py"):
+            return
+        guarded = _collect_guarded(parsed.tree)
+        func_of: dict = {}
+        for fn in ast.walk(parsed.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(fn):
+                    func_of.setdefault(id(sub), fn.name)
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            attr = (node.func.attr
+                    if isinstance(node.func, ast.Attribute) else None)
+            if name == "time.sleep":
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message="time.sleep stalls the event loop for every "
+                            "connected client",
+                )
+            elif attr == "settimeout":
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message="settimeout turns a socket blocking-with-"
+                            "timeout; the loop requires non-blocking "
+                            "sockets under the selector",
+                )
+            elif attr == "setblocking" and node.args and not (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value in (False, 0)):
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message="setblocking(True) re-blocks a socket the "
+                            "selector multiplexes",
+                )
+            elif attr in _BLOCKING_SOCKET_METHODS and id(node) not in guarded:
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f".{attr}() without a BlockingIOError guard "
+                             "can hang the loop on a spurious readiness "
+                             "report"),
+                )
+            elif attr == "sendall":
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message="sendall loops until the kernel takes every "
+                            "byte; use the buffered _emit/_flush path",
+                )
+            elif (attr == "fsync" or name == "os.fsync") and \
+                    func_of.get(id(node)) in _DISPATCH_FUNCS:
+                yield Finding(
+                    path=str(parsed.path), line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message="fsync on the dispatch path serializes every "
+                            "client behind one disk flush; durability "
+                            "belongs to the group-commit drain",
+                )

@@ -1,0 +1,279 @@
+"""Protocol drift: the wire contract must match everywhere it is stated.
+
+The line protocol is defined in three places that can rot apart: the
+``AdmissionService._handle_op`` dispatcher (request ops and response
+keys), the transports (``async_server.py`` pushes its own
+``shutdown`` notification), and README's protocol table — the only
+copy clients read.  This rule extracts all three statically and
+cross-checks:
+
+* the README table's op set must equal the dispatcher's ops plus the
+  server-pushed ops;
+* per op, the statically visible response keys must agree with the
+  table — exactly for closed dict literals, as a subset for branches
+  that splat dynamic payloads (``**self.query(...)``).
+
+A missing README table is itself a finding: the contract must be
+written down where clients can see it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..base import Fixture, ProjectContext, Rule, const_str, register
+from ..findings import Finding
+
+__all__ = ["ProtocolDriftRule"]
+
+#: Keys any response may carry regardless of op (the request-id echo).
+_UNIVERSAL_KEYS = {"id"}
+
+
+def _dispatcher_ops(tree: ast.Module):
+    """(op -> branch body) from ``_handle_op``'s if-chain."""
+    fn = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_handle_op":
+            fn = node
+            break
+    if fn is None:
+        return {}
+    branches: dict = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == "op"
+                and len(test.ops) == 1):
+            continue
+        comp = test.comparators[0]
+        ops_here = []
+        if isinstance(test.ops[0], ast.Eq):
+            text = const_str(comp)
+            if text is not None:
+                ops_here.append(text)
+        elif isinstance(test.ops[0], ast.In) and \
+                isinstance(comp, (ast.Tuple, ast.List, ast.Set)):
+            for elt in comp.elts:
+                text = const_str(elt)
+                if text is not None:
+                    ops_here.append(text)
+        for op in ops_here:
+            branches[op] = node.body
+    return branches
+
+
+def _branch_response_keys(body):
+    """(keys, open): response-dict keys a branch can emit.
+
+    ``open`` is True when the branch splats a dynamic payload, so the
+    static keys are a lower bound rather than the whole story.
+    """
+    keys: set = set()
+    open_ = False
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Dict):
+                for k in node.keys:
+                    if k is None:
+                        open_ = True
+                        continue
+                    text = const_str(k)
+                    if text is not None:
+                        keys.add(text)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript):
+                        text = const_str(t.slice)
+                        if text is not None:
+                            keys.add(text)
+    return keys, open_
+
+
+def _emitted_ops(tree: ast.Module):
+    """Op values the transport itself stamps into response dicts."""
+    ops = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for k, v in zip(node.keys, node.values):
+            if k is not None and const_str(k) == "op":
+                text = const_str(v)
+                if text is not None:
+                    ops.add(text)
+    return ops
+
+
+def _parse_readme_table(text: str):
+    """(op -> (line, response_keys), table_found) from the README."""
+    rows: dict = {}
+    in_table = False
+    found = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            in_table = False
+            continue
+        cells = [c.strip().strip("`").strip()
+                 for c in stripped.strip("|").split("|")]
+        if not cells:
+            continue
+        if cells[0].lower() == "op":
+            in_table = True
+            found = True
+            continue
+        if not in_table:
+            continue
+        if set(cells[0]) <= {"-", ":", " "}:
+            continue
+        op = cells[0]
+        resp = cells[-1] if len(cells) >= 2 else ""
+        keys = {k.strip().strip("`").strip()
+                for k in resp.split(",") if k.strip().strip("`").strip()}
+        rows[op] = (lineno, keys)
+    return rows, found
+
+
+@register
+class ProtocolDriftRule(Rule):
+    id = "PROTO001"
+    name = "protocol-drift"
+    rationale = (
+        "The wire protocol lives in three places — the service "
+        "dispatcher, the transports, and README's protocol table (the "
+        "only copy clients read).  They drift independently: an op "
+        "added to the dispatcher but not the table is invisible to "
+        "clients; a documented response key the code never emits sends "
+        "clients parsing fiction.  The rule extracts ops and response "
+        "keys from the code and diffs them against the table."
+    )
+    scope = "project"
+    default_path = "service/service.py"
+    fixtures = [
+        Fixture(
+            bad={
+                "service/service.py": (
+                    "class Service:\n"
+                    "    def _handle_op(self, req):\n"
+                    "        op = req.get('op')\n"
+                    "        if op == 'stats':\n"
+                    "            return {'ok': True, 'op': op, "
+                    "'stats': self.stats()}\n"
+                    "        if op == 'drain':\n"
+                    "            return {'ok': True, 'op': op}\n"
+                ),
+                "README.md": (
+                    "## Protocol\n"
+                    "\n"
+                    "| op | response keys |\n"
+                    "|----|---------------|\n"
+                    "| `stats` | `ok`, `op`, `stats` |\n"
+                ),
+            },
+            good={
+                "service/service.py": (
+                    "class Service:\n"
+                    "    def _handle_op(self, req):\n"
+                    "        op = req.get('op')\n"
+                    "        if op == 'stats':\n"
+                    "            return {'ok': True, 'op': op, "
+                    "'stats': self.stats()}\n"
+                    "        if op == 'drain':\n"
+                    "            return {'ok': True, 'op': op}\n"
+                ),
+                "README.md": (
+                    "## Protocol\n"
+                    "\n"
+                    "| op | response keys |\n"
+                    "|----|---------------|\n"
+                    "| `stats` | `ok`, `op`, `stats` |\n"
+                    "| `drain` | `ok`, `op` |\n"
+                ),
+            },
+            note="the dispatcher grew a 'drain' op the README table "
+                 "never documented",
+        ),
+    ]
+
+    def check_project(self, ctx: ProjectContext):
+        services = ctx.find("service/service.py") or ctx.find("service.py")
+        if not services:
+            return
+        service = services[0]
+        branches = _dispatcher_ops(service.tree)
+        if not branches:
+            return
+        emitted: set = set()
+        async_files = (ctx.find("service/async_server.py")
+                       or ctx.find("async_server.py"))
+        for pf in async_files:
+            emitted |= _emitted_ops(pf.tree)
+        emitted -= set(branches)
+
+        readme_path = None
+        readme_text = None
+        for parent in Path(service.path).parents:
+            candidate = parent / "README.md"
+            text = ctx.read_text(candidate)
+            if text is not None:
+                readme_path, readme_text = candidate, text
+                break
+        if readme_text is None:
+            yield Finding(
+                path=str(service.path), line=1, col=0, rule=self.id,
+                message="no README.md found above the service module; the "
+                        "protocol table must be documented",
+            )
+            return
+        rows, found = _parse_readme_table(readme_text)
+        if not found:
+            yield Finding(
+                path=str(readme_path), line=1, col=0, rule=self.id,
+                message="README has no protocol table (a markdown table "
+                        "whose first header cell is 'op')",
+            )
+            return
+
+        expected = set(branches) | emitted
+        for op in sorted(expected - set(rows)):
+            where = "dispatcher" if op in branches else "server-pushed"
+            yield Finding(
+                path=str(readme_path), line=1, col=0, rule=self.id,
+                message=(f"op {op!r} ({where}) is missing from README's "
+                         "protocol table"),
+            )
+        for op in sorted(set(rows) - expected):
+            line, _ = rows[op]
+            yield Finding(
+                path=str(readme_path), line=line, col=0, rule=self.id,
+                message=(f"README documents op {op!r} but neither the "
+                         "dispatcher nor a transport implements it"),
+            )
+        for op, body in sorted(branches.items()):
+            if op not in rows:
+                continue
+            line, doc_keys = rows[op]
+            static_keys, open_ = _branch_response_keys(body)
+            if not doc_keys:
+                continue
+            missing = static_keys - doc_keys - _UNIVERSAL_KEYS
+            for key in sorted(missing):
+                yield Finding(
+                    path=str(readme_path), line=line, col=0, rule=self.id,
+                    message=(f"op {op!r} emits response key {key!r} the "
+                             "README table does not document"),
+                )
+            if not open_:
+                phantom = doc_keys - static_keys - _UNIVERSAL_KEYS
+                for key in sorted(phantom):
+                    yield Finding(
+                        path=str(readme_path), line=line, col=0,
+                        rule=self.id,
+                        message=(f"README documents response key {key!r} "
+                                 f"for op {op!r} but the dispatcher never "
+                                 "emits it"),
+                    )

@@ -1,0 +1,222 @@
+"""State symmetry: ``export_state`` and ``restore_state`` must agree.
+
+Checkpoint/resume integrity rests on a pair contract: whatever
+``export_state`` writes, ``restore_state`` reads — and nothing else.
+A key exported but never restored silently drops state on resume; a
+key restored but never exported crashes (or worse, ``.get()``s a
+default) on every real checkpoint.  The byte-identical-restart
+property tests only cover the policies the corpus exercises, so the
+cross-check runs statically on every class defining the pair.
+
+The comparison is key-based: string keys of dict literals returned by
+``export_state`` versus string keys subscripted / ``.get()``-ed off
+``restore_state``'s state parameter.  Either side using dynamic
+construction (``**splat``, computed keys, ``dict(...)``) opts out of
+the comparison for that class — the rule only asserts what it can
+prove.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Fixture, ParsedFile, Rule, const_str, register
+from ..findings import Finding
+
+__all__ = ["StateSymmetryRule"]
+
+
+def _delegates(fn: ast.FunctionDef, method: str) -> bool:
+    """True when ``fn`` calls ``super().<method>(...)``."""
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+                and isinstance(node.func.value, ast.Call)
+                and isinstance(node.func.value.func, ast.Name)
+                and node.func.value.func.id == "super"):
+            return True
+    return False
+
+
+def _export_keys(fn: ast.FunctionDef):
+    """(keys, provable): string keys the export writes.
+
+    Covers both shapes this codebase uses: a dict literal in the
+    return expression, and ``state["key"] = ...`` assignments onto a
+    local that is returned.
+    """
+    keys: set = set()
+    provable = True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is None:  # {**splat}
+                    provable = False
+                    continue
+                text = const_str(k)
+                if text is None:
+                    provable = False
+                else:
+                    keys.add(text)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript):
+                    text = const_str(t.slice)
+                    if text is None:
+                        provable = False
+                    else:
+                        keys.add(text)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Name)
+              and node.func.id == "dict"):
+            for kw in node.keywords:
+                if kw.arg is None:
+                    provable = False
+                else:
+                    keys.add(kw.arg)
+    return keys, provable
+
+
+def _restore_keys(fn: ast.FunctionDef):
+    """(keys, provable): keys read off the state parameter."""
+    args = fn.args.posonlyargs + fn.args.args
+    params = [a.arg for a in args if a.arg != "self"]
+    if not params:
+        return set(), False
+    state = params[0]
+    keys: set = set()
+    provable = True
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == state):
+            text = const_str(node.slice)
+            if text is None:
+                provable = False
+            else:
+                keys.add(text)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "get"
+              and isinstance(node.func.value, ast.Name)
+              and node.func.value.id == state
+              and node.args):
+            text = const_str(node.args[0])
+            if text is None:
+                provable = False
+            else:
+                keys.add(text)
+    return keys, provable
+
+
+@register
+class StateSymmetryRule(Rule):
+    id = "STATE001"
+    name = "export-restore-symmetry"
+    rationale = (
+        "Checkpoints are only as good as the restore that reads them: "
+        "a class exporting a key its restore never reads silently "
+        "drops state on resume, and a restore reading a key the export "
+        "never writes fails on every real checkpoint.  export_state "
+        "and restore_state must exist as a pair and agree on the key "
+        "set, so a warm restart is byte-identical to the uninterrupted "
+        "run."
+    )
+    scope = "file"
+    default_path = "online/fixture.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "class Ledger:\n"
+                "    def export_state(self):\n"
+                "        return {'load': self.load, 'admitted': "
+                "self.admitted}\n"
+                "    def restore_state(self, state):\n"
+                "        self.load = state['load']\n"
+            ),
+            good=(
+                "class Ledger:\n"
+                "    def export_state(self):\n"
+                "        return {'load': self.load, 'admitted': "
+                "self.admitted}\n"
+                "    def restore_state(self, state):\n"
+                "        self.load = state['load']\n"
+                "        self.admitted = state['admitted']\n"
+            ),
+            note="'admitted' is exported but never restored: a resumed "
+                 "ledger would silently forget its admissions",
+        ),
+        Fixture(
+            bad=(
+                "class Policy:\n"
+                "    def export_state(self):\n"
+                "        return {'peak': self.peak}\n"
+            ),
+            good=(
+                "class Policy:\n"
+                "    def export_state(self):\n"
+                "        return {'peak': self.peak}\n"
+                "    def restore_state(self, state):\n"
+                "        self.peak = state['peak']\n"
+            ),
+            note="export without restore is a checkpoint nothing can read",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {n.name: n for n in node.body
+                       if isinstance(n, ast.FunctionDef)}
+            export = methods.get("export_state")
+            restore = methods.get("restore_state")
+            if export is None and restore is None:
+                continue
+            if export is None or restore is None:
+                present, missing = (("export_state", "restore_state")
+                                    if restore is None
+                                    else ("restore_state", "export_state"))
+                anchor = export or restore
+                yield Finding(
+                    path=str(parsed.path), line=anchor.lineno,
+                    col=anchor.col_offset, rule=self.id,
+                    message=(f"class {node.name} defines {present} without "
+                             f"{missing}; checkpoint state must round-trip"),
+                )
+                continue
+            exp_super = _delegates(export, "export_state")
+            res_super = _delegates(restore, "restore_state")
+            if exp_super != res_super:
+                anchor = export if exp_super else restore
+                one, other = (("export_state", "restore_state")
+                              if exp_super else
+                              ("restore_state", "export_state"))
+                yield Finding(
+                    path=str(parsed.path), line=anchor.lineno,
+                    col=anchor.col_offset, rule=self.id,
+                    message=(f"{node.name}.{one} delegates to super() but "
+                             f"{other} does not; the base class's keys "
+                             "would not round-trip"),
+                )
+                continue
+            exported, exp_ok = _export_keys(export)
+            restored, res_ok = _restore_keys(restore)
+            if not (exp_ok and res_ok):
+                continue  # dynamic construction: nothing provable
+            for key in sorted(exported - restored):
+                yield Finding(
+                    path=str(parsed.path), line=restore.lineno,
+                    col=restore.col_offset, rule=self.id,
+                    message=(f"{node.name}.export_state writes {key!r} but "
+                             "restore_state never reads it; resumed state "
+                             "would silently drop it"),
+                )
+            for key in sorted(restored - exported):
+                yield Finding(
+                    path=str(parsed.path), line=restore.lineno,
+                    col=restore.col_offset, rule=self.id,
+                    message=(f"{node.name}.restore_state reads {key!r} but "
+                             "export_state never writes it"),
+                )

@@ -1,0 +1,184 @@
+"""The lint runner: walk paths, parse, dispatch rules, report.
+
+:func:`lint_paths` is the whole pipeline — collect ``.py`` files,
+parse each once, run every selected file-scope rule per module and
+every project-scope rule once over the full
+:class:`~repro.analysis.base.ProjectContext`, then drop findings a
+valid (justified) noqa comment covers.  Unparseable files
+surface as ``PARSE000`` findings rather than crashes, so the linter
+itself never takes CI down with a traceback.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import rules as _rules  # noqa: F401  (imports register the rules)
+from .base import ParsedFile, ProjectContext, Rule, iter_rules
+from .findings import Finding, parse_suppressions
+
+__all__ = ["LintReport", "lint_paths", "lint_project", "render_explain"]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list = field(default_factory=list)
+    suppressed: int = 0
+    checked_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+            "checked_files": self.checked_files,
+        }, indent=2)
+
+    def render_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        tail = (f"{len(self.findings)} finding(s), "
+                f"{self.suppressed} suppressed, "
+                f"{self.checked_files} file(s) checked")
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+def _collect_files(paths):
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py")
+                                if "__pycache__" not in p.parts))
+        else:
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _selected_rules(select=None, ignore=None):
+    chosen = []
+    for rule in iter_rules():
+        if select and rule.id not in select:
+            continue
+        if ignore and rule.id in ignore:
+            continue
+        chosen.append(rule)
+    return chosen
+
+
+def lint_project(ctx: ProjectContext, select=None, ignore=None,
+                 suppressions=None) -> LintReport:
+    """Run the selected rules over an already-built project context."""
+    report = LintReport(checked_files=len(ctx.files))
+    raw: list = []
+    chosen = _selected_rules(select, ignore)
+    for key in sorted(ctx.files):
+        parsed = ctx.files[key]
+        for rule in chosen:
+            if rule.scope == "file":
+                raw.extend(rule.check_file(parsed))
+    for rule in chosen:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(ctx))
+    suppressions = suppressions or {}
+    kept = []
+    for finding in raw:
+        table = suppressions.get(finding.path)
+        if table is not None and table.covers(finding.line, finding.rule):
+            report.suppressed += 1
+        else:
+            kept.append(finding)
+    for path, table in sorted(suppressions.items()):
+        kept.extend(table.unjustified(path))
+    report.findings = sorted(set(kept))
+    return report
+
+
+def lint_paths(paths, select=None, ignore=None) -> LintReport:
+    """Lint files/directories on disk; the CLI's whole engine."""
+    files = _collect_files(paths)
+    ctx = ProjectContext(root=Path.cwd())
+    suppressions = {}
+    parse_failures = []
+    for path in files:
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            parse_failures.append(Finding(
+                path=str(path), line=1, col=0, rule="PARSE000",
+                message=f"unreadable: {exc}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            parse_failures.append(Finding(
+                path=str(path), line=exc.lineno or 1, col=exc.offset or 0,
+                rule="PARSE000", message=f"syntax error: {exc.msg}"))
+            continue
+        ctx.files[str(path)] = ParsedFile(path=path, tree=tree,
+                                          source=source)
+        suppressions[str(path)] = parse_suppressions(source)
+    report = lint_project(ctx, select=select, ignore=ignore,
+                          suppressions=suppressions)
+    report.checked_files = len(files)
+    report.findings = sorted(set(report.findings) | set(parse_failures))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fixture plumbing shared by --explain and the test suite
+# ----------------------------------------------------------------------
+
+
+def lint_fixture(rule: Rule, snippet) -> list:
+    """Run one rule over a fixture snippet (str or path->source dict)."""
+    files = (snippet if isinstance(snippet, dict)
+             else {rule.default_path: snippet})
+    ctx = ProjectContext(root=Path("."))
+    for rel, content in files.items():
+        if rel.endswith(".py"):
+            ctx.files[rel] = ParsedFile(path=Path(rel),
+                                        tree=ast.parse(content),
+                                        source=content)
+        else:
+            ctx.texts[rel] = content
+    findings: list = []
+    if rule.scope == "file":
+        for parsed in ctx.files.values():
+            findings.extend(rule.check_file(parsed))
+    else:
+        findings.extend(rule.check_project(ctx))
+    return sorted(findings)
+
+
+def render_explain(rule: Rule) -> str:
+    """The ``--explain`` page: rationale plus the bad/good fixtures."""
+    lines = [f"{rule.id} — {rule.name}", "", rule.rationale, ""]
+    for i, fixture in enumerate(rule.fixtures, start=1):
+        lines.append(f"example {i}" + (f" — {fixture.note}"
+                                       if fixture.note else ""))
+        for label, snippet in (("bad", fixture.bad), ("good", fixture.good)):
+            lines.append(f"  # {label}")
+            files = (snippet if isinstance(snippet, dict)
+                     else {rule.default_path: snippet})
+            for rel, content in files.items():
+                if isinstance(snippet, dict):
+                    lines.append(f"  --- {rel}")
+                lines.extend("  " + ln for ln in content.splitlines())
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

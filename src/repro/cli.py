@@ -491,6 +491,25 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--n", type=int, default=32)
     dec.add_argument("--seed", type=_int_arg("seed", minimum=0),
                      default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant checker over the source tree")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: src/)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="findings as human text or a JSON document")
+    lint.add_argument("--explain", metavar="RULE", default=None,
+                      help="print a rule's rationale and its bad/good "
+                           "fixture examples, then exit")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list every registered rule and exit")
+    lint.add_argument("-o", "--output", default=None,
+                      help="also write the JSON findings document here")
     return p
 
 
@@ -966,6 +985,47 @@ def _decompose(args) -> int:
     return 0
 
 
+def _lint(args) -> int:
+    from pathlib import Path
+
+    from .analysis import get_rule, iter_rules, lint_paths, render_explain
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  {rule.name}")
+        return 0
+    if args.explain:
+        try:
+            rule = get_rule(args.explain.strip())
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        print(render_explain(rule), end="")
+        return 0
+
+    def rule_set(spec):
+        if spec is None:
+            return None
+        ids = {part.strip() for part in spec.split(",") if part.strip()}
+        for rule_id in ids:
+            get_rule(rule_id)  # raise on unknown ids up front
+        return ids
+
+    try:
+        select = rule_set(args.select)
+        ignore = rule_set(args.ignore)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    report = lint_paths(paths, select=select, ignore=ignore)
+    if args.output:
+        Path(args.output).write_text(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -981,6 +1041,7 @@ def main(argv: list[str] | None = None) -> int:
         "compact": _compact,
         "sweep-preemption": _sweep_preemption,
         "decompose": _decompose,
+        "lint": _lint,
     }
     return handlers[args.command](args)
 

@@ -22,7 +22,7 @@ the vectorization refactor it keeps two complementary representations:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class ConflictIndex:
         trees: Mapping[int, object] | None = None,
         *,
         defer_buckets: bool = False,
-    ):
+    ) -> None:
         if len(instances) != len(global_edges):
             raise ValueError("one edge list per instance required")
         self._instances = list(instances)
@@ -93,7 +93,11 @@ class ConflictIndex:
         self._by_demand = by_demand
         self._by_edge = by_edge
 
-    def _build_arrays(self, global_edges, trees) -> None:
+    def _build_arrays(
+        self,
+        global_edges: Sequence[Sequence],
+        trees: Mapping[int, object] | None,
+    ) -> None:
         """Intern edges/demands and pick the geometry for batch queries."""
         insts = self._instances
         n = len(insts)
@@ -214,7 +218,7 @@ class ConflictIndex:
     def __len__(self) -> int:
         return len(self._instances)
 
-    def instance(self, iid: int):
+    def instance(self, iid: int) -> Any:
         """The instance with id ``iid``."""
         return self._instances[iid]
 
@@ -345,7 +349,7 @@ class ConflictIndex:
             iid: set(splits[i].tolist()) for i, iid in enumerate(order)
         }
 
-    def subgraph(self, population: Iterable[int]):
+    def subgraph(self, population: Iterable[int]) -> dict[int, set[int]]:
         """Adjacency dict of the conflict graph induced on ``population``.
 
         Used to hand sub-populations to the MIS routines.
@@ -356,7 +360,7 @@ class ConflictIndex:
         """A fresh incremental active-set view over this population."""
         return ActiveConflictSet(self, capacities=capacities)
 
-    def to_networkx(self, population: Iterable[int] | None = None):
+    def to_networkx(self, population: Iterable[int] | None = None) -> Any:
         """Export the (induced) conflict graph as :class:`networkx.Graph`."""
         import networkx as nx
 
@@ -389,7 +393,7 @@ class ActiveConflictSet:
         load above 1 (within ``1e-9``).
     """
 
-    def __init__(self, index: ConflictIndex, capacities: bool = False):
+    def __init__(self, index: ConflictIndex, capacities: bool = False) -> None:
         self._index = index
         self.capacities = capacities
         self._load = np.zeros(index.num_edges, dtype=np.float64)

@@ -22,7 +22,7 @@ dict representation keep working unchanged.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -37,13 +37,13 @@ class _DualView(Mapping):
     """
 
     def __init__(self, keys: list, index: dict, values: np.ndarray,
-                 touched: np.ndarray):
+                 touched: np.ndarray) -> None:
         self._keys = keys
         self._index = index
         self._values = values
         self._touched = touched
 
-    def __getitem__(self, key) -> float:
+    def __getitem__(self, key: Any) -> float:
         i = self._index.get(key)
         if i is None or i >= len(self._touched) or not self._touched[i]:
             raise KeyError(key)
@@ -82,7 +82,7 @@ class DualState:
         demand_of: Sequence[int],
         edges_of: Sequence[Iterable],
         log_raises: bool = True,
-    ):
+    ) -> None:
         self.profits = [float(p) for p in profits]
         self.heights = [float(h) for h in heights]
         self.demand_of = list(demand_of)
@@ -155,7 +155,7 @@ class DualState:
         return _DualView(self._edge_keys, self._edge_index,
                          self._beta_arr, self._beta_touched)
 
-    def _edge_id(self, e) -> int:
+    def _edge_id(self, e: Any) -> int:
         j = self._edge_index.get(e)
         if j is None:
             # An off-route critical edge: intern it and grow the arrays.
@@ -180,7 +180,7 @@ class DualState:
             self._alpha_arr[self._dix[iid]] + self.heights[iid] * beta_sum
         )
 
-    def make_plan(self, iids) -> tuple:
+    def make_plan(self, iids: Sequence[int] | np.ndarray) -> tuple:
         """Precomputed gather indices for repeated batch queries.
 
         The engine probes the same group every step of a stage; the CSR
@@ -200,7 +200,8 @@ class DualState:
         return (arr, edge_ids, seg_starts[counts > 0], counts,
                 self._dix[arr], self._heights[arr], self._profits[arr])
 
-    def lhs_batch(self, iids=None, plan: tuple | None = None) -> np.ndarray:
+    def lhs_batch(self, iids: Sequence[int] | np.ndarray | None = None,
+                  plan: tuple | None = None) -> np.ndarray:
         """Vectorized LHS for an array of instance ids (or a saved plan)."""
         if plan is None:
             plan = self.make_plan(iids)
@@ -222,7 +223,8 @@ class DualState:
         """Whether instance ``iid`` is ``xi``-satisfied: ``LHS >= xi·p``."""
         return self.lhs(iid) >= xi * self.profits[iid] - 1e-12
 
-    def unsatisfied_mask(self, iids, target: float, eps: float = 1e-12,
+    def unsatisfied_mask(self, iids: Sequence[int] | np.ndarray,
+                         target: float, eps: float = 1e-12,
                          plan: tuple | None = None) -> np.ndarray:
         """Boolean array: which instances are below ``target``-satisfaction."""
         if plan is None:
@@ -333,7 +335,7 @@ class DualState:
         self._crit_indptr = indptr
         self._crit_tuples = tuples
 
-    def _crit_slices(self, arr: np.ndarray):
+    def _crit_slices(self, arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         if self._crit_indptr is None:
             raise RuntimeError("call set_critical() before batched raises")
         starts = self._crit_indptr[arr]
@@ -348,7 +350,8 @@ class DualState:
             edges = np.zeros(0, dtype=np.int64)
         return edges, counts
 
-    def _log_batch(self, arr, deltas, bumps) -> None:
+    def _log_batch(self, arr: np.ndarray, deltas: np.ndarray,
+                   bumps: np.ndarray) -> None:
         if not self._log_raises:
             return
         tuples = self._crit_tuples
@@ -356,7 +359,8 @@ class DualState:
                                     bumps.tolist()):
             self.raise_log.append((iid, delta, tuples[iid], bump))
 
-    def raise_unit_batch(self, iids, include_alpha: bool = True) -> np.ndarray:
+    def raise_unit_batch(self, iids: Sequence[int] | np.ndarray,
+                         include_alpha: bool = True) -> np.ndarray:
         """Apply :meth:`raise_unit` to a whole MIS in one array pass.
 
         The instances must be pairwise non-conflicting (one MIS step), so
@@ -390,7 +394,7 @@ class DualState:
         self._log_batch(arr, deltas, deltas)
         return deltas
 
-    def raise_narrow_batch(self, iids) -> np.ndarray:
+    def raise_narrow_batch(self, iids: Sequence[int] | np.ndarray) -> np.ndarray:
         """Apply :meth:`raise_narrow` to a whole MIS in one array pass."""
         arr = np.asarray(iids, dtype=np.int64)
         if len(arr) == 0:

@@ -15,7 +15,7 @@ and ``(network_id, timeslot)`` for line problems, so dual variables
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Any, Hashable, Sequence
 
 from ..network.line import LineNetwork
 from ..network.tree import TreeNetwork
@@ -32,9 +32,10 @@ __all__ = ["TreeProblem", "LineProblem", "GlobalEdge", "subproblem_of"]
 GlobalEdge = tuple[int, Hashable]
 
 
-def subproblem_of(problem, demand_ids: Sequence[int],
+def subproblem_of(problem: "TreeProblem | LineProblem",
+                  demand_ids: Sequence[int],
                   extra_demands: Sequence = (),
-                  extra_access: Sequence = ()):
+                  extra_access: Sequence = ()) -> "TreeProblem | LineProblem":
     """A standalone problem over a subset of ``problem``'s demands.
 
     Demand ids are densified to ``0 ..`` in ``demand_ids`` order (then
@@ -190,7 +191,7 @@ class TreeProblem:
                 act.setdefault(ge, []).append(inst.instance_id)
         return act
 
-    def communication_graph(self):
+    def communication_graph(self) -> Any:
         """The processor communication graph (Section 2).
 
         Two processors may talk iff their access sets intersect.  Returned
@@ -333,7 +334,7 @@ class LineProblem:
                 act.setdefault(ge, []).append(inst.instance_id)
         return act
 
-    def communication_graph(self):
+    def communication_graph(self) -> Any:
         """Processor communication graph (shared-resource adjacency)."""
         import networkx as nx
 

@@ -13,6 +13,7 @@ test suite, independently of the algorithm's own bookkeeping.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -52,8 +53,13 @@ class Solution:
 
     @property
     def profit(self) -> float:
-        """Total profit of the selected instances."""
-        return float(sum(inst.profit for inst in self.selected))
+        """Total profit of the selected instances.
+
+        ``fsum`` so the reported total is identical for any selection
+        order — snapshots built from hash-ordered admitted maps must
+        price the same as ones built in admission order.
+        """
+        return math.fsum(inst.profit for inst in self.selected)
 
     @property
     def size(self) -> int:

@@ -460,7 +460,8 @@ class BatchResolve(AdmissionPolicy):
             for d in demand_ids:
                 for cand in ledger.candidates(d).tolist():
                     relevant |= index.edges_of(cand)
-            dominating = sum(p.demands[d].profit for d in demand_ids) + 1.0
+            dominating = math.fsum(
+                p.demands[d].profit for d in demand_ids) + 1.0
             tree = isinstance(p, TreeProblem)
             for _, iid in ledger.admitted_items():
                 if relevant.isdisjoint(index.edges_of(iid)):
@@ -595,7 +596,7 @@ class PreemptDensity(_PreemptiveAdmission):
                 # [] = feasible without eviction (then try_admit already
                 # declined it on density); None = cannot be freed.
                 continue
-            cost = sum(
+            cost = math.fsum(
                 ledger.instances[ledger.admitted_instance(v)].profit
                 for v in victims
             )
@@ -676,7 +677,7 @@ class PreemptDualGated(DualGated, _PreemptiveAdmission):
             victims = ledger.preemption_plan(iid)
             if not victims:
                 continue
-            v_cost = (1.0 + self.penalty) * sum(
+            v_cost = (1.0 + self.penalty) * math.fsum(
                 ledger.instances[ledger.admitted_instance(v)].profit
                 for v in victims
             )

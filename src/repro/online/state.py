@@ -23,6 +23,8 @@ ones the phase-2 engine uses offline, shared through the same index.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..core.conflict import ActiveConflictSet, ConflictIndex
@@ -501,9 +503,14 @@ class CapacityLedger:
                              for d, i in state["eviction_log"]]
         self._profit_admitted = 0.0
         for _, iid in self.admission_log:
+            # repro: noqa[CERT001] -- deliberate += in original event
+            # order: a restore must bit-match the live per-event
+            # accumulation, which fsum's exact rounding would not.
             self._profit_admitted += float(self.instances[iid].profit)
         self._profit_forfeited = 0.0
         for _, iid in self.eviction_log:
+            # repro: noqa[CERT001] -- same: replays the live += rounding
+            # so a warm restart is byte-identical to the original run.
             self._profit_forfeited += float(self.instances[iid].profit)
         self._penalty_paid = float(state["penalty_paid"])
         members = set(self._admitted.values())
@@ -541,10 +548,10 @@ class CapacityLedger:
             verify_tree_solution(self.problem, sol, unit_height=False)
         else:
             verify_line_solution(self.problem, sol, unit_height=False)
-        log_sum = sum(self.instances[iid].profit
-                      for _, iid in self.admission_log)
-        evict_sum = sum(self.instances[iid].profit
-                        for _, iid in self.eviction_log)
+        log_sum = math.fsum(self.instances[iid].profit
+                            for _, iid in self.admission_log)
+        evict_sum = math.fsum(self.instances[iid].profit
+                              for _, iid in self.eviction_log)
         if abs((log_sum - evict_sum) - self.realized_profit) > 1e-6:
             raise AssertionError(
                 "profit counters drifted from the admission/eviction logs: "

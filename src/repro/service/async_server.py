@@ -245,8 +245,13 @@ class AsyncLineServer:
                 reason = ("server draining" if self._shutdown.is_set()
                           else f"server at max-clients capacity "
                                f"({self.max_clients})")
+                # Best-effort notice on a non-blocking socket: a freshly
+                # accepted connection has an empty send buffer, so one
+                # small send() takes it whole; a sendall() here could
+                # stall the loop behind a zero-window client.
+                sock.setblocking(False)
                 try:
-                    sock.sendall((json.dumps(
+                    sock.send((json.dumps(
                         {"ok": False, "error": reason}) + "\n").encode())
                 except OSError:
                     pass

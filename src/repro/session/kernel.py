@@ -45,6 +45,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.instance import LineProblem, TreeProblem
 
 from ..core.solution import Solution
 from ..online.events import Arrival, Departure, Tick
@@ -136,7 +139,7 @@ def assemble_result(ledger: CapacityLedger, policy: AdmissionPolicy, *,
                     latencies: list, elapsed: float, trace_meta: dict,
                     certificate: dict | None,
                     baseline: dict | None = None,
-                    final_solution=None) -> ReplayResult:
+                    final_solution: Solution | None = None) -> ReplayResult:
     """Build the metrics/logs/stats record every session shares.
 
     ``baseline`` holds counter and log offsets captured before the loop
@@ -222,10 +225,11 @@ class AdmissionSession:
     latency percentiles are the per-decision numbers either way.
     """
 
-    def __init__(self, problem, policy: AdmissionPolicy, *,
+    def __init__(self, problem: TreeProblem | LineProblem,
+                 policy: AdmissionPolicy, *,
                  ledger: CapacityLedger | None = None,
                  trace_meta: dict | None = None,
-                 delta_baseline: bool = False):
+                 delta_baseline: bool = False) -> None:
         self.problem = problem
         self.ledger = ledger if ledger is not None else CapacityLedger(problem)
         self.policy = policy
@@ -262,7 +266,7 @@ class AdmissionSession:
     # The event loop, one event at a time
     # ------------------------------------------------------------------
 
-    def submit(self, event) -> Decision:
+    def submit(self, event: Arrival | Departure | Tick) -> Decision:
         """Apply one event; returns the :class:`Decision` it produced.
 
         Raises
@@ -286,14 +290,15 @@ class AdmissionSession:
             latency_s=latency,
         )
 
-    def feed(self, event) -> None:
+    def feed(self, event: Arrival | Departure | Tick) -> None:
         """:meth:`submit` without assembling a :class:`Decision` — the
         hot path for drivers that replay a whole trace and only read
         the close-time result (the Decision's log slices and dataclass
         construction are measurable at benchmark event rates)."""
         self._dispatch(event)
 
-    def feed_many(self, events, *, progress_hook=None,
+    def feed_many(self, events: Iterable[Arrival | Departure | Tick], *,
+                  progress_hook: Callable[[int], None] | None = None,
                   progress_every: int = 1) -> None:
         """:meth:`feed` a whole batch in one call.
 
@@ -354,7 +359,9 @@ class AdmissionSession:
         self.departures = int(state["departures"])
         self.ticks = int(state["ticks"])
 
-    def _dispatch(self, event):
+    def _dispatch(
+        self, event: Arrival | Departure | Tick
+    ) -> tuple[str, int | None, bool, float]:
         """Apply one event; returns ``(kind, demand_id, accepted,
         latency_s)`` and updates every accumulator."""
         if self.closed:

@@ -32,6 +32,7 @@ differ, on an ``N``-core host they converge.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -253,8 +254,10 @@ class ShardedDriver:
             peak = None
         arrivals = trace.num_arrivals
         accepted = sum(m.accepted for m in rows)
-        realized = sum(m.realized_profit for m in rows)
-        penalty = sum(m.penalty_paid for m in rows)
+        # Money columns merge with fsum: the merged totals must not
+        # depend on shard enumeration order.
+        realized = math.fsum(m.realized_profit for m in rows)
+        penalty = math.fsum(m.penalty_paid for m in rows)
         if boundary_result is not None:
             # The broker's certificate is computed on the coordinator
             # over the full population — a valid global upper bound.
@@ -272,7 +275,7 @@ class ShardedDriver:
             shard_certs = [r.metrics.dual_upper_bound for r in shard_results]
             candidates = []
             if all(c is not None for c in shard_certs):
-                candidates.append(sum(shard_certs))
+                candidates.append(math.fsum(shard_certs))
             if broker_certificate is not None:
                 candidates.append(broker_certificate["upper_bound"])
             cert = min(candidates) if candidates else None
@@ -287,7 +290,7 @@ class ShardedDriver:
             acceptance_ratio=accepted / arrivals if arrivals else 0.0,
             realized_profit=realized,
             evictions=sum(m.evictions for m in rows),
-            forfeited_profit=sum(m.forfeited_profit for m in rows),
+            forfeited_profit=math.fsum(m.forfeited_profit for m in rows),
             penalty_paid=penalty,
             penalty_adjusted_profit=realized - penalty,
             elapsed_s=wall,

@@ -31,6 +31,8 @@ coordinator (phase B).
 
 from __future__ import annotations
 
+import math
+
 from ..core.instance import TreeProblem
 from ..online.events import EventTrace
 from ..online.policies import AdmissionPolicy
@@ -203,8 +205,9 @@ class BoundaryBroker:
             key = ((g, inst.network_id) if tree
                    else (g, inst.network_id, inst.start, inst.end))
             coord.admit(lut[key])
-            self.absorbed_profit += float(inst.profit)
             self.absorbed_count += 1
+        self.absorbed_profit += math.fsum(
+            float(inst.profit) for inst in result.final_solution.selected)
 
     # -- phase B: the serialized boundary replay ------------------------
 

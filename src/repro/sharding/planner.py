@@ -44,6 +44,8 @@ demand with instances on many networks almost always straddles a cut.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -255,8 +257,8 @@ class ShardPlan:
     def boundary_profit(self) -> float:
         """Total profit of cut-crossing demands — the first-order scale
         of the profit divergence vs the single-ledger replay."""
-        return float(sum(self.problem.demands[d].profit
-                         for d in self.boundary_demands))
+        return math.fsum(self.problem.demands[d].profit
+                         for d in self.boundary_demands)
 
     # -- per-shard materialization ------------------------------------
 

@@ -50,6 +50,7 @@ unsharded replay, event for event.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 
@@ -215,7 +216,8 @@ def _absorb_results(coordinator: CapacityLedger, plan,
     """
     tree = isinstance(plan.problem, TreeProblem)
     lut = plan._lookup()
-    count, profit = 0, 0.0
+    count = 0
+    profits: list[float] = []
     for s, result in enumerate(shard_results):
         ids = plan.shard_demands[s]
         for inst in result.final_solution.selected:
@@ -223,9 +225,9 @@ def _absorb_results(coordinator: CapacityLedger, plan,
             key = ((g, inst.network_id) if tree
                    else (g, inst.network_id, inst.start, inst.end))
             coordinator.admit(lut[key])
-            profit += float(inst.profit)
+            profits.append(float(inst.profit))
             count += 1
-    return count, profit
+    return count, math.fsum(profits)
 
 
 # ----------------------------------------------------------------------
@@ -258,8 +260,9 @@ class _CoordinatorMirror:
         self.withdrawn_count = 0
         #: locals the boundary policy evicted off the coordinator.
         self.boundary_evicted: set[int] = set()
-        #: profit forfeited on both sides (added back once in the merge).
-        self.double_forfeited = 0.0
+        #: demand -> profit forfeited on both sides (added back once in
+        #: the merge); a dict so the total is an order-free fsum.
+        self._double_forfeited: dict[int, float] = {}
 
     def apply(self, s: int, admits, evicts, released) -> None:
         plan, coord = self.plan, self.coord
@@ -278,7 +281,7 @@ class _CoordinatorMirror:
                     # own row already subtracts the profit.
                     del self.withdrawn[g]
                 elif g in self.boundary_evicted:
-                    self.double_forfeited += float(
+                    self._double_forfeited[g] = float(
                         self.plan.problem.demands[g].profit)
         if admits:
             imap = plan.instance_map(s)
@@ -293,7 +296,11 @@ class _CoordinatorMirror:
 
     @property
     def withdrawn_profit(self) -> float:
-        return float(sum(self.withdrawn.values()))
+        return math.fsum(self.withdrawn.values())
+
+    @property
+    def double_forfeited(self) -> float:
+        return math.fsum(self._double_forfeited.values())
 
 
 class _EagerBoundary:
