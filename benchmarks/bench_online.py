@@ -21,6 +21,11 @@ event to a temp file — and compared against the in-process replay, so
 the dict-protocol and write-ahead-journal overheads are tracked
 explicitly.
 
+An **observability** row replays the same trace with the flight
+recorder off and on (interleaved, best-of-N) and records
+``obs_overhead_ratio`` — the CI smoke gate fails above 1.05×, keeping
+the always-compiled-in instrumentation honest about its cost.
+
 A third table tracks the **sharded admission engine**: one Poisson
 tree trace with a targeted boundary fraction (the shard-aware
 ``boundary_fraction`` workload knob) is replayed through
@@ -91,6 +96,7 @@ def run_online_bench(smoke: bool = False, out_path: str | None = None) -> dict:
             }
         report["cases"][str(events)] = case
     report["service"] = run_service_bench(smoke=smoke)
+    report["obs"] = run_obs_overhead_bench(smoke=smoke)
     report["sharding"] = run_sharding_bench(smoke=smoke)
     report["serving"] = run_concurrent_clients_bench(smoke=smoke)
     if out_path:
@@ -238,6 +244,58 @@ def run_service_bench(smoke: bool = False) -> dict:
             })
     out["resume"] = {"events": len(trace.events), "rows": resume_rows}
     return out
+
+
+def run_obs_overhead_bench(smoke: bool = False) -> dict:
+    """Flight-recorder overhead on the in-process hot path.
+
+    The same greedy-threshold replay, observability off vs on
+    (recorder enabled, every decision / admit / evict span landing in
+    the ring), interleaved within each rep and best-of-N so machine
+    drift hits both rows equally.  ``obs_overhead_ratio`` is
+    (obs-off rate) / (obs-on rate); the CI smoke gate fails above
+    1.05x — instrumentation this cheap is the license to leave it
+    compiled into the hot path.
+    """
+    from repro.obs import tracing
+    from repro.online import generate_trace, make_policy, replay
+
+    events = 2_000 if smoke else 20_000
+    reps = 3
+    trace = generate_trace(
+        "line", events=events, process="poisson", seed=0,
+        departure_prob=0.35, workload={"n_slots": max(512, events // 8)},
+    )
+    off_rate = on_rate = 0.0
+    spans = 0
+    try:
+        for _ in range(reps):
+            tracing.disable()
+            off_rate = max(
+                off_rate,
+                replay(trace,
+                       make_policy("greedy-threshold")).metrics.events_per_sec,
+            )
+            tracing.enable()
+            tracing.RECORDER.clear()
+            on_rate = max(
+                on_rate,
+                replay(trace,
+                       make_policy("greedy-threshold")).metrics.events_per_sec,
+            )
+            spans = tracing.RECORDER.total
+    finally:
+        tracing.disable()
+        tracing.RECORDER.clear()
+    return {
+        "events": len(trace.events),
+        "policy": "greedy-threshold",
+        "reps": reps,
+        "spans_recorded": spans,
+        "obs_off_events_per_sec": off_rate,
+        "obs_on_events_per_sec": on_rate,
+        "obs_overhead_ratio": off_rate / on_rate if on_rate > 0 else None,
+    }
 
 
 #: Sharding benchmark trace: demands confined to the balancer-cut parts
@@ -428,7 +486,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--check-overhead", action="store_true",
                     help="exit nonzero if the journaled fast path "
                          "(binary + group commit + batched feed) runs "
-                         "slower than 1.5x the in-process replay rate")
+                         "slower than 1.5x the in-process replay rate, "
+                         "or the enabled flight recorder costs the "
+                         "in-process hot path more than 5%")
     args = ap.parse_args(argv)
     report = run_online_bench(smoke=args.smoke, out_path=args.output)
     for events, case in report["cases"].items():
@@ -457,6 +517,12 @@ def main(argv: list[str] | None = None) -> int:
     for row in service["resume"]["rows"]:
         print(f"  {row['mode']:<16} tail {row['tail_events']:>6} events  "
               f"{1e3 * row['resume_s']:>8.1f} ms")
+    obs = report["obs"]
+    obs_ratio = obs["obs_overhead_ratio"]
+    print(f"obs ({obs['events']} events, {obs['spans_recorded']} spans): "
+          f"off {obs['obs_off_events_per_sec']:.0f} ev/s  "
+          f"on {obs['obs_on_events_per_sec']:.0f} ev/s  "
+          f"obs_overhead_ratio x{obs_ratio:.3f} (gate at 1.05)")
     sharding = report["sharding"]
     print(f"sharding ({sharding['trace']['events']} events, poisson tree, "
           f"{sharding['unsharded_events_per_sec']:.0f} ev/s unsharded):")
@@ -477,6 +543,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_overhead and ratio > 1.5:
         print(f"FAIL: journal_overhead_ratio x{ratio:.2f} exceeds the "
               f"1.5x gate", file=sys.stderr)
+        return 1
+    if args.check_overhead and obs_ratio > 1.05:
+        print(f"FAIL: obs_overhead_ratio x{obs_ratio:.3f} exceeds the "
+              f"1.05x gate", file=sys.stderr)
         return 1
     return 0
 

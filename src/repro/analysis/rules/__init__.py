@@ -1,7 +1,7 @@
 """Rule modules; importing this package registers every rule."""
 
 from . import (api_hygiene, certificates, determinism, event_loop,
-               fork_safety, protocol, state_sym)
+               fork_safety, observability, protocol, state_sym)
 
 __all__ = ["api_hygiene", "certificates", "determinism", "event_loop",
-           "fork_safety", "protocol", "state_sym"]
+           "fork_safety", "observability", "protocol", "state_sym"]

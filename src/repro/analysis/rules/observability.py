@@ -1,0 +1,113 @@
+"""Span lifecycle discipline for the flight recorder.
+
+:func:`repro.obs.tracing.span` records on ``__exit__`` — a span only
+reaches the ring if its context manager exits.  Calling ``span(...)``
+anywhere except a ``with`` item (or an ``ExitStack.enter_context``)
+creates an enter that exceptions can separate from its exit: the span
+silently vanishes from the trace, or worse, a hand-rolled
+``__enter__``/``__exit__`` pair leaks the enter on the error path the
+recorder exists to document.  The ``with`` statement is the only
+construct the language guarantees balances the pair.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Fixture, ParsedFile, Rule, call_name, register
+from ..findings import Finding
+
+__all__ = ["SpanLifecycleRule"]
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    name = call_name(node)
+    return name is not None and (name == "span" or name.endswith(".span"))
+
+
+def _allowed_span_calls(tree: ast.Module):
+    """ids of span calls whose exit is structurally guaranteed."""
+    allowed: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                allowed.add(id(item.context_expr))
+        elif isinstance(node, ast.Call):
+            # stack.enter_context(span(...)) — the ExitStack owns the
+            # exit, same guarantee as a with item.
+            target = call_name(node)
+            if target and target.rsplit(".", 1)[-1] == "enter_context":
+                for arg in node.args:
+                    allowed.add(id(arg))
+    return allowed
+
+
+@register
+class SpanLifecycleRule(Rule):
+    id = "OBS001"
+    name = "span-enter-without-guaranteed-exit"
+    rationale = (
+        "span() records on __exit__: only a with statement (or an "
+        "ExitStack.enter_context) guarantees the exit runs on every "
+        "path, exceptions included.  A bare call, a stored span with "
+        "manual __enter__/__exit__, or a span passed around as a value "
+        "can leak its enter on the error path — the trace then lies by "
+        "omission exactly when it matters most."
+    )
+    scope = "file"
+    default_path = "obs/usage.py"
+    fixtures = [
+        Fixture(
+            bad=(
+                "from repro.obs import span\n"
+                "def decide(self, event):\n"
+                "    s = span('session.decide', demand=event.demand)\n"
+                "    s.__enter__()\n"
+                "    outcome = self.policy.decide(event)\n"
+                "    s.__exit__(None, None, None)\n"
+                "    return outcome\n"
+            ),
+            good=(
+                "from repro.obs import span\n"
+                "def decide(self, event):\n"
+                "    with span('session.decide', demand=event.demand):\n"
+                "        return self.policy.decide(event)\n"
+            ),
+            note="an exception between the manual enter and exit drops "
+                 "the span from the ring; with-blocks record it with "
+                 "the error attached",
+        ),
+        Fixture(
+            bad=(
+                "from repro.obs import tracing\n"
+                "def flush(self):\n"
+                "    tracing.span('journal.commit', records=len(self._q))\n"
+                "    self._fh.flush()\n"
+            ),
+            good=(
+                "from repro.obs import tracing\n"
+                "def flush(self):\n"
+                "    with tracing.span('journal.commit',\n"
+                "                      records=len(self._q)):\n"
+                "        self._fh.flush()\n"
+            ),
+            note="a bare span(...) call never enters at all — nothing "
+                 "is recorded and the timing silently disappears",
+        ),
+    ]
+
+    def check_file(self, parsed: ParsedFile):
+        allowed = _allowed_span_calls(parsed.tree)
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call) or not _is_span_call(node):
+                continue
+            if id(node) in allowed:
+                continue
+            yield Finding(
+                path=str(parsed.path), line=node.lineno,
+                col=node.col_offset, rule=self.id,
+                message="span(...) outside a with item has no guaranteed "
+                        "__exit__; use `with span(...):` (or "
+                        "ExitStack.enter_context) so the span is recorded "
+                        "on every path",
+            )

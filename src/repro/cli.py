@@ -11,8 +11,12 @@ python -m repro replay    trace.json --shards 4 --shard-by subtree
 python -m repro serve     --trace trace.json --policy dual-gated --journal j.log
 python -m repro serve     --trace trace.json --journal j.bin --format binary \
                           --sync-window 64 --checkpoint-every 5000
+python -m repro serve     --trace trace.json --port 7777 --async \
+                          --obs --metrics-port 9100
 python -m repro resume    --journal j.log -o metrics.json
 python -m repro compact   --journal j.log
+python -m repro top       --port 7777
+python -m repro trace     --port 7777 --last 500 -o spans.json
 python -m repro sweep-preemption --factors 1.2,2.0 --penalties 0,0.25
 python -m repro decompose --topology caterpillar --n 32
 ```
@@ -34,7 +38,10 @@ the last checkpoint and replaying only the tail) and finishes the
 trace, and ``compact`` rewrites a journal as header + one checkpoint;
 ``sweep-preemption`` grids preemption factor × penalty over saved
 traces and reports where preemption stops paying; ``decompose`` prints
-the Section 4 decomposition table.
+the Section 4 decomposition table; ``top`` is a live optimality
+dashboard over a serving TCP service (polls ``{"op": "stats"}``) and
+``trace`` pulls the service's flight-recorder ring as Chrome
+``trace_event`` JSON (load in Perfetto / ``about:tracing``).
 
 Algorithm names are resolved through the solver registry
 (:mod:`repro.algorithms.registry`); ``--algorithm help`` or the epilog of
@@ -154,6 +161,44 @@ def _apply_policy_args(kwargs: dict, entries, command: str) -> dict:
         except json.JSONDecodeError:
             kwargs[key] = value
     return kwargs
+
+
+def _add_obs_flags(parser) -> None:
+    """The observability flags ``serve`` and ``resume`` share."""
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the flight recorder + request-latency "
+                             "histogram (off by default; the hot path then "
+                             "pays only one flag check)")
+    parser.add_argument("--obs-dump", default=None, metavar="PATH",
+                        help="write the span ring to PATH as Chrome trace "
+                             "JSON at process exit (implies --obs)")
+    parser.add_argument("--metrics-port",
+                        type=_int_arg("metrics-port", minimum=0),
+                        default=None, metavar="N",
+                        help="serve Prometheus text metrics on this HTTP "
+                             "port (0 = ephemeral; implies --obs)")
+
+
+def _setup_obs(args) -> None:
+    """Flip the recorder on (and arm the exit dump) before the service
+    is built, so warm-restart replay spans are captured too."""
+    from .obs import enable, install_crash_dump
+
+    if args.obs or args.obs_dump or args.metrics_port is not None:
+        enable()
+    if args.obs_dump:
+        install_crash_dump(args.obs_dump)
+
+
+def _start_metrics(args, service) -> None:
+    from .obs import start_metrics_server
+
+    if args.metrics_port is None:
+        return
+    server = start_metrics_server(service.registry, port=args.metrics_port,
+                                  on_scrape=service._sync_metrics)
+    host, port = server.server_address[:2]
+    print(f"metrics on http://{host}:{port}/", file=sys.stderr, flush=True)
 
 
 def _registry_epilog() -> str:
@@ -328,8 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="request protocol: one JSON object per stdin line, e.g. "
                '{"op": "admit", "demand": 3, "time": 1.5} — ops: admit, '
                "release, tick, submit, feed (batched events), query, "
-               "stats, snapshot, close; one JSON response per line on "
-               "stdout",
+               "stats, snapshot, close, trace, explain; one JSON "
+               "response per line on stdout",
     )
     srv.add_argument("--trace", required=True,
                      help="trace JSON holding the frozen demand "
@@ -394,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append a state checkpoint to the journal "
                           "every N events, so resume replays only the "
                           "tail (default: 0 = off)")
+    _add_obs_flags(srv)
 
     res = sub.add_parser(
         "resume",
@@ -437,6 +483,47 @@ def build_parser() -> argparse.ArgumentParser:
                           "the journal header")
     res.add_argument("-o", "--output", default=None,
                      help="write the final metrics JSON here")
+    _add_obs_flags(res)
+
+    top = sub.add_parser(
+        "top",
+        help="live optimality dashboard over a serving TCP service",
+        epilog="polls {\"op\": \"stats\"} once per interval and renders "
+               "event/admit/evict rates, realized profit vs the live "
+               "dual upper bound (the optimality gap), commit lag and "
+               "per-client server health; Ctrl-C exits",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=_int_arg("port", minimum=1),
+                     required=True,
+                     help="the service's TCP port (repro serve --port)")
+    top.add_argument("--interval",
+                     type=_float_arg("interval", lo=0.05), default=1.0,
+                     help="refresh period in seconds (default: 1.0)")
+    top.add_argument("--count", type=_int_arg("count", minimum=1),
+                     default=None,
+                     help="render this many frames then exit "
+                          "(default: until Ctrl-C)")
+
+    trc = sub.add_parser(
+        "trace",
+        help="dump a serving service's flight-recorder ring as Chrome "
+             "trace JSON",
+        epilog="the output loads in Perfetto (ui.perfetto.dev) or "
+               "chrome://tracing; spans cover policy decisions, ledger "
+               "admits/evicts, journal commits, shard phases and "
+               "connection dispatch",
+    )
+    trc.add_argument("--host", default="127.0.0.1")
+    trc.add_argument("--port", type=_int_arg("port", minimum=1),
+                     required=True,
+                     help="the service's TCP port (repro serve --port)")
+    trc.add_argument("--last", type=_int_arg("last", minimum=1),
+                     default=None,
+                     help="only the newest N spans (default: the whole "
+                          "surviving ring)")
+    trc.add_argument("-o", "--output", default=None,
+                     help="write the trace JSON here (default: stdout)")
 
     cpt = sub.add_parser(
         "compact",
@@ -778,6 +865,7 @@ def _serve(args) -> int:
         make_policy(args.policy, **policy_kwargs)  # validate early
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}")
+    _setup_obs(args)
     trace = load_trace(args.trace)
     try:
         service = AdmissionService(
@@ -796,6 +884,7 @@ def _serve(args) -> int:
           + (f", journal {args.journal}" if args.journal else "")
           + (f", {args.shards} shards" if args.shards > 1 else ""),
           file=sys.stderr)
+    _start_metrics(args, service)
     _run_transport(service, args)
     return 0
 
@@ -836,6 +925,7 @@ def _resume(args) -> int:
     from .report import render_replay
     from .service import AdmissionService
 
+    _setup_obs(args)
     try:
         service = AdmissionService.resume(
             args.journal, sync=args.sync,
@@ -850,6 +940,7 @@ def _resume(args) -> int:
           f"({service.policy_name}, "
           f"{service.trace.problem.num_demands} demands)",
           file=sys.stderr)
+    _start_metrics(args, service)
     if args.serve:
         _run_transport(service, args)
         return 0
@@ -863,6 +954,44 @@ def _resume(args) -> int:
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2)
         print(f"metrics written to {args.output}")
+    return 0
+
+
+def _top(args) -> int:
+    """The ``top`` subcommand: the live optimality dashboard."""
+    from .obs import run_top
+
+    try:
+        run_top(args.host, args.port, interval=args.interval,
+                iterations=args.count)
+    except (OSError, RuntimeError) as exc:
+        raise SystemExit(f"top: {exc}")
+    return 0
+
+
+def _trace_cmd(args) -> int:
+    """The ``trace`` subcommand: pull the span ring as Chrome trace
+    JSON."""
+    from .obs import request_once
+
+    req: dict = {"op": "trace"}
+    if args.last is not None:
+        req["last"] = args.last
+    try:
+        resp = request_once(args.host, args.port, req)
+    except OSError as exc:
+        raise SystemExit(f"trace: {exc}")
+    if not resp.get("ok"):
+        raise SystemExit(f"trace: service said {resp.get('error')!r}")
+    doc = resp["trace"]
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh)
+        print(f"{resp['spans']} spans written to {args.output} "
+              "(open in Perfetto / chrome://tracing)")
+    else:
+        json.dump(doc, sys.stdout)
+        print()
     return 0
 
 
@@ -1039,6 +1168,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _serve,
         "resume": _resume,
         "compact": _compact,
+        "top": _top,
+        "trace": _trace_cmd,
         "sweep-preemption": _sweep_preemption,
         "decompose": _decompose,
         "lint": _lint,

@@ -57,6 +57,7 @@ from .core.instance import LineProblem, TreeProblem
 from .core.solution import Solution
 from .network.line import LineNetwork
 from .network.tree import TreeNetwork
+from .obs.tracing import RECORDER as _REC
 
 __all__ = [
     "problem_to_dict",
@@ -599,6 +600,8 @@ class JournalWriter:
         Returns :attr:`commit_seq`, the durable event watermark.
         """
         if self._pending:
+            t0 = time.perf_counter_ns() if _REC.enabled else 0
+            records = self._pending_events
             self._fh.write(b"".join(self._pending))
             self._fh.flush()
             if self.sync:
@@ -606,6 +609,12 @@ class JournalWriter:
             self._pending.clear()
             self._pending_events = 0
             self._oldest_pending = None
+            if t0:
+                # The group-commit flush window: how long the write (+
+                # fsync under --sync) held the intake path.
+                _REC.record("journal.commit", t0,
+                            time.perf_counter_ns() - t0,
+                            {"records": records, "sync": self.sync})
         self.commit_seq = self.seq
         return self.commit_seq
 

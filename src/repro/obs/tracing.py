@@ -1,0 +1,270 @@
+"""Span tracing with a lock-free per-process flight-recorder ring.
+
+The recorder is a fixed-capacity ring buffer of *completed* spans —
+``(name, ts_ns, dur_ns, args)`` tuples stamped with
+:func:`time.perf_counter_ns`.  Appends are a single list-slot store
+under the GIL (no locks, no resizing), so recording is cheap enough to
+leave in the replay hot path; when the ring is full the oldest spans
+fall off and the newest N survive — exactly what a post-mortem wants.
+
+Two recording styles:
+
+* :func:`span` — a context manager for code with interesting failure
+  modes; the span is recorded on exit *including* exception exits (the
+  exception type lands in the span's args).  Lint rule ``OBS001``
+  enforces that ``span(...)`` is only ever used as a ``with`` item, so
+  an enter can never leak without its exit.
+* :meth:`FlightRecorder.record` / :func:`record_complete` — for hot
+  paths that already hold their own timestamps (the session kernel
+  times every policy call anyway); one guarded call, no allocation on
+  the disabled path.
+
+Everything is gated on :attr:`FlightRecorder.enabled` — a plain bool
+the instrumented call sites check first, so with observability off the
+cost is one attribute read and the disabled :func:`span` returns a
+shared no-op singleton (no allocation).  Timing never feeds decisions:
+spans are write-only telemetry, which keeps the replay's bit-exact
+determinism contract (and the ``DET003`` lint rule) intact.
+
+Dumps use the Chrome ``trace_event`` JSON format
+(:func:`chrome_trace`), loadable in Perfetto / ``about:tracing``.
+:func:`install_crash_dump` registers an atexit hook that writes the
+ring to disk on interpreter exit, so an abnormal termination still
+leaves the last moments of the process behind.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import time
+
+__all__ = ["FlightRecorder", "RECORDER", "chrome_trace", "disable",
+           "enable", "install_crash_dump", "is_enabled",
+           "record_complete", "span"]
+
+#: Default ring capacity (spans kept before the oldest fall off).
+DEFAULT_CAPACITY = 8192
+
+
+class FlightRecorder:
+    """A fixed-capacity ring of completed spans.
+
+    ``enabled`` is the module flag every instrumented call site guards
+    on; flipping it is the whole cost of turning tracing off.  The ring
+    never grows: ``record`` overwrites the slot ``total % capacity``,
+    so memory stays bounded and the newest ``capacity`` spans always
+    survive (:meth:`events` returns them oldest-first).
+    """
+
+    __slots__ = ("enabled", "capacity", "_buf", "_total")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = False
+        self.capacity = int(capacity)
+        self._buf: list = [None] * self.capacity
+        self._total = 0
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, name: str, ts_ns: int, dur_ns: int,
+               args: dict | None = None) -> None:
+        """Append one completed span (single slot store — lock-free)."""
+        self._buf[self._total % self.capacity] = (name, ts_ns, dur_ns, args)
+        self._total += 1
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Spans ever recorded (including ones the ring dropped)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Spans the ring has overwritten."""
+        return max(0, self._total - self.capacity)
+
+    def events(self, last: int | None = None) -> list:
+        """The surviving spans, oldest first (at most ``last``)."""
+        total, cap = self._total, self.capacity
+        start = max(0, total - cap)
+        if last is not None:
+            start = max(start, total - max(int(last), 0))
+        return [self._buf[i % cap] for i in range(start, total)]
+
+    def drain(self, last: int | None = None) -> list:
+        """:meth:`events` then :meth:`clear` — the fork-worker hand-off."""
+        out = self.events(last)
+        self.clear()
+        return out
+
+    def clear(self) -> None:
+        self._buf = [None] * self.capacity
+        self._total = 0
+
+    def extend(self, events) -> None:
+        """Append already-completed spans (merging a shipped recorder)."""
+        for name, ts_ns, dur_ns, args in events:
+            self.record(name, ts_ns, dur_ns, args)
+
+
+#: The per-process recorder every instrumented call site shares.
+RECORDER = FlightRecorder()
+
+
+def enable(capacity: int | None = None) -> None:
+    """Turn span recording on (optionally resizing the ring)."""
+    if capacity is not None and capacity != RECORDER.capacity:
+        RECORDER.capacity = int(capacity)
+        RECORDER.clear()
+    RECORDER.enabled = True
+
+
+def disable() -> None:
+    """Turn span recording off (the ring's contents are kept)."""
+    RECORDER.enabled = False
+
+
+def is_enabled() -> bool:
+    return RECORDER.enabled
+
+
+def record_complete(name: str, t0_s: float, dur_s: float,
+                    args: dict | None = None) -> None:
+    """Record a span from ``time.perf_counter`` float timestamps.
+
+    For hot paths that already measured their own window (the session
+    kernel's per-event latency clock): no second timing call, just the
+    unit conversion and one ring store.  Callers guard on
+    ``RECORDER.enabled`` themselves so the disabled path pays nothing.
+    """
+    RECORDER.record(name, int(t0_s * 1e9), int(dur_s * 1e9), args)
+
+
+# ----------------------------------------------------------------------
+# The context-manager API (OBS001: only ever used as a `with` item)
+# ----------------------------------------------------------------------
+
+
+class _Span:
+    """A live span; records itself on exit, exceptions included."""
+
+    __slots__ = ("name", "args", "_t0")
+
+    def __init__(self, name: str, args: dict | None):
+        self.name = name
+        self.args = args
+        self._t0 = 0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter_ns() - self._t0
+        args = self.args
+        if exc_type is not None:
+            args = dict(args) if args else {}
+            args["error"] = exc_type.__name__
+        RECORDER.record(self.name, self._t0, dur, args)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **args):
+    """A context manager timing one ``with`` block into the recorder.
+
+    Disabled recording returns a shared no-op singleton — no
+    allocation, two trivial method calls.  The span is recorded on
+    ``__exit__`` whether the block returned or raised, so nesting is
+    always balanced (enforced statically by lint rule ``OBS001``).
+    """
+    if not RECORDER.enabled:
+        return _NOOP
+    return _Span(name, args or None)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(events: list | None = None, *,
+                 pid: int | None = None) -> dict:
+    """Spans as a Chrome ``trace_event`` document (Perfetto-loadable).
+
+    Each span becomes one complete (``"ph": "X"``) event with
+    microsecond ``ts``/``dur``.  Spans shipped from fork workers carry
+    a ``shard`` arg; it is mapped to the event's ``tid`` so each
+    shard renders as its own track.
+    """
+    if events is None:
+        events = RECORDER.events()
+    if pid is None:
+        pid = os.getpid()
+    out = []
+    for name, ts_ns, dur_ns, args in events:
+        shard = (args or {}).get("shard")
+        ev = {
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "X",
+            "ts": ts_ns / 1e3,
+            "dur": dur_ns / 1e3,
+            "pid": pid,
+            "tid": 0 if shard is None else int(shard) + 1,
+        }
+        if args:
+            ev["args"] = args
+        out.append(ev)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Crash dump: leave the last moments behind on abnormal exit
+# ----------------------------------------------------------------------
+
+_DUMP_PATH: str | None = None
+
+
+def _dump_at_exit() -> None:
+    if _DUMP_PATH is None or RECORDER.total == 0:
+        return
+    try:
+        with open(_DUMP_PATH, "w") as fh:
+            json.dump(chrome_trace(), fh)
+    except OSError:
+        pass  # a failed post-mortem dump must never mask the real exit
+
+
+def install_crash_dump(path: str) -> None:
+    """Write the ring to ``path`` as Chrome trace JSON at interpreter
+    exit (normal or abnormal — anything short of ``kill -9``).
+
+    Idempotent: the latest path wins, the atexit hook is registered
+    once.  Pairs with the journal's last checkpoint for SIGKILL-grade
+    exits, where no user code runs at all.
+    """
+    global _DUMP_PATH
+    register = _DUMP_PATH is None
+    _DUMP_PATH = path
+    if register:
+        atexit.register(_dump_at_exit)

@@ -24,10 +24,12 @@ ones the phase-2 engine uses offline, shared through the same index.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from ..core.conflict import ActiveConflictSet, ConflictIndex
+from ..obs.tracing import RECORDER as _REC
 from ..core.instance import TreeProblem
 from ..core.solution import (
     Solution,
@@ -348,6 +350,7 @@ class CapacityLedger:
             evicted) or the instance no longer fits the residual
             capacity.
         """
+        t0 = time.perf_counter_ns() if _REC.enabled else 0
         demand_id = self.instances[iid].demand_id
         if demand_id in self._ever_admitted:
             raise ValueError(f"demand {demand_id} was already admitted")
@@ -362,6 +365,9 @@ class CapacityLedger:
         self._profit_admitted += float(self.instances[iid].profit)
         for eid in self._route_edge_list(iid):
             self._holders_by_edge[eid].add(demand_id)
+        if t0:
+            _REC.record("ledger.admit", t0, time.perf_counter_ns() - t0,
+                        {"demand": demand_id, "instance": iid})
 
     def try_admit(self, demand_id: int,
                   min_density: float = 0.0) -> int | None:
@@ -453,11 +459,15 @@ class CapacityLedger:
         """
         if penalty < 0:
             raise ValueError(f"penalty must be >= 0, got {penalty}")
+        t0 = time.perf_counter_ns() if _REC.enabled else 0
         iid = self._remove(demand_id)
         self._evicted.add(demand_id)
         self.eviction_log.append((demand_id, iid))
         self._profit_forfeited += float(self.instances[iid].profit)
         self._penalty_paid += float(penalty)
+        if t0:
+            _REC.record("ledger.evict", t0, time.perf_counter_ns() - t0,
+                        {"demand": demand_id, "instance": iid})
         return iid
 
     # ------------------------------------------------------------------

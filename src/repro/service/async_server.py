@@ -29,9 +29,11 @@ just non-blocking sockets and explicit buffers:
   returns.  A killed server is still exactly resumable from its
   journal — the drain just upgrades "crash-consistent" to "polite".
 
-The ``stats`` op gains a ``server`` section over this transport:
-connected clients, per-client request counts, the dispatch queue
-depth, and the journal commit watermark lag (``seq - commit_seq``).
+The ``stats`` op's ``server`` section carries live transport counters
+here — connected clients, per-client request counts, the dispatch
+queue depth, backpressured clients, and the journal commit watermark
+lag (``seq - commit_seq``); other transports return the same keys as
+nulls, so dashboards never special-case the front door.
 """
 
 from __future__ import annotations
@@ -41,7 +43,9 @@ import selectors
 import signal
 import socket
 import threading
+import time
 
+from ..obs import tracing as _tracing
 from .service import AdmissionService
 
 __all__ = ["AsyncLineServer", "serve_async"]
@@ -120,6 +124,9 @@ class AsyncLineServer:
         self._shutdown = threading.Event()
         self._wake_w: socket.socket | None = None
         self.close_response: dict | None = None
+        # Surface this transport's counters through the service's own
+        # stats op, so every client sees the same `server` section.
+        service.server_stats_provider = self.server_stats
 
     # ------------------------------------------------------------------
     # Control plane
@@ -153,8 +160,8 @@ class AsyncLineServer:
             "overlimit_rejects": self._overlimit_rejects,
         }
         journal = self.service.journal
-        if journal is not None:
-            doc["commit_lag"] = journal.seq - journal.commit_seq
+        doc["commit_lag"] = (journal.seq - journal.commit_seq
+                             if journal is not None else None)
         return doc
 
     # ------------------------------------------------------------------
@@ -417,9 +424,14 @@ class AsyncLineServer:
             self._emit(conn, {"ok": False,
                               "error": "request must be a JSON object"})
             return
-        resp = self.service.handle(req)
-        if req.get("op") == "stats" and resp.get("ok"):
-            resp["stats"]["server"] = self.server_stats()
+        rec = _tracing.RECORDER
+        if rec.enabled:
+            t0 = time.perf_counter_ns()
+            resp = self.service.handle(req)
+            rec.record("server.dispatch", t0, time.perf_counter_ns() - t0,
+                       {"client": conn.client, "op": req.get("op")})
+        else:
+            resp = self.service.handle(req)
         self._emit(conn, resp)
         if resp.get("op") == "close" and resp.get("ok"):
             self.close_response = resp

@@ -24,9 +24,17 @@ submit    a raw trace-schema event: ``{"op": "submit", "event": {...}}``
 feed      a batch of raw events: ``{"op": "feed", "events": [...]}`` —
           one decode/validate/journal-commit amortized over the batch
 query     one demand's admission status
-stats     live counters (events, accepted, profit, utilization, ...)
+stats     live counters (events, accepted, profit, utilization, ...),
+          the transport's ``server`` section (same keys on every
+          transport; nulls outside the async server), the live dual
+          upper bound, and the metrics registry (dict + Prometheus
+          text)
 snapshot  the currently-admitted set as a solution document
 close     final flush + verify; responds with the full metrics record
+trace     the flight-recorder ring as Chrome ``trace_event`` JSON
+          (``"last"`` caps the span count)
+explain   one demand's decision provenance:
+          ``{"op": "explain", "demand": 3}``
 ========  ============================================================
 
 Event responses report two watermarks when journaling: ``seq`` (this
@@ -54,6 +62,7 @@ deployment story needs, verified alongside the coordinator at close.
 from __future__ import annotations
 
 import os
+import time
 
 from ..io import (
     JournalWriter,
@@ -64,9 +73,13 @@ from ..io import (
     trace_from_dict,
     trace_to_dict,
 )
+from ..obs import tracing as _tracing
+from ..obs.explain import explain_demand
+from ..obs.metrics import MetricsRegistry
 from ..online.events import Arrival, Departure, EventTrace, Tick
 from ..online.policies import make_policy
-from ..session.kernel import AdmissionSession, Decision, ReplayResult
+from ..session.kernel import (AdmissionSession, Decision, ReplayResult,
+                              certificate_of)
 
 __all__ = ["AdmissionService"]
 
@@ -149,6 +162,17 @@ class AdmissionService:
         self._last_time = 0.0
         self._next_checkpoint = self.checkpoint_every or 0
         self.result: ReplayResult | None = None
+        #: The service's metrics home (``stats`` op, --metrics-port).
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_requests_total", "requests handled by this process")
+        self._req_latency = self.registry.histogram(
+            "repro_request_latency_us",
+            "request handling latency (microseconds)", timing=True)
+        #: A hosting server (the async front door) sets this to its
+        #: ``server_stats`` so every transport's ``stats`` op carries
+        #: the same ``server`` section; ``None`` yields the null shape.
+        self.server_stats_provider = None
         self.journal: JournalWriter | None = None
         if journal_path is not None:
             self.journal = JournalWriter(
@@ -414,7 +438,16 @@ class AdmissionService:
         echoes it verbatim — success or error — so pipelined clients
         can match responses to requests out of order.
         """
-        resp = self._handle_op(req)
+        self._requests.inc()
+        if _tracing.RECORDER.enabled:
+            t0 = time.perf_counter()
+            resp = self._handle_op(req)
+            dt = time.perf_counter() - t0
+            self._req_latency.observe(dt * 1e6)
+            _tracing.record_complete("service.handle", t0, dt,
+                                     {"op": req.get("op")})
+        else:
+            resp = self._handle_op(req)
         if "id" in req:
             resp["id"] = req["id"]
         return resp
@@ -448,9 +481,18 @@ class AdmissionService:
                 return {"ok": True, "op": op,
                         "metrics": result.metrics.to_dict(),
                         "policy_stats": result.policy_stats}
+            if op == "trace":
+                last = req.get("last")
+                events = _tracing.RECORDER.events(
+                    None if last is None else int(last))
+                return {"ok": True, "op": op, "spans": len(events),
+                        "trace": _tracing.chrome_trace(events)}
+            if op == "explain":
+                return {"ok": True, "op": op,
+                        "explain": self.explain(int(req["demand"]))}
             raise ValueError(
                 f"unknown op {op!r}; want admit/release/tick/submit/feed/"
-                "query/stats/snapshot/close"
+                "query/stats/snapshot/close/trace/explain"
             )
         except (KeyError, ValueError, TypeError, RuntimeError) as exc:
             return {"ok": False, "op": op, "error": str(exc)}
@@ -468,6 +510,61 @@ class AdmissionService:
             "was_evicted": ledger.was_evicted(demand_id),
         }
 
+    def explain(self, demand_id: int) -> dict:
+        """Decision provenance for one demand (a pure query — see
+        :func:`~repro.obs.explain.explain_demand`)."""
+        return explain_demand(
+            self.trace.problem, self.session.ledger, self.session.policy,
+            demand_id, arrived=self._arrived, departed=self._departed)
+
+    def _sync_metrics(self) -> None:
+        """Derive the registry's gauges from the live session state.
+
+        Gauges are *recomputed* from the ledger/session counters rather
+        than incremented on the hot path, so they cost nothing per
+        event — and a warm restart is continuous by construction: the
+        restored session state carries the pre-kill cumulative counts,
+        and the first sync after :meth:`resume` republishes them.
+        """
+        snap = self.session.snapshot()
+        reg = self.registry
+        for key, name in (
+            ("events", "repro_events_total"),
+            ("arrivals", "repro_arrivals_total"),
+            ("accepted", "repro_admits_total"),
+            ("evictions", "repro_evictions_total"),
+        ):
+            reg.gauge(name).set(snap[key])
+        reg.gauge("repro_rejects_total").set(
+            snap["arrivals"] - snap["accepted"])
+        reg.gauge("repro_admitted").set(snap["num_admitted"])
+        reg.gauge("repro_utilization").set(snap["utilization"])
+        reg.gauge("repro_realized_profit").set(snap["realized_profit"])
+        reg.gauge("repro_penalty_paid").set(snap["penalty_paid"])
+        reg.gauge("repro_position").set(self.position)
+        reg.gauge("repro_commit_lag").set(
+            self.journal.seq - self.journal.commit_seq
+            if self.journal is not None else 0)
+
+    def _server_section(self) -> dict:
+        """The transport block — real counters under the async front
+        door, the same keys as nulls elsewhere (dashboards never
+        special-case the transport)."""
+        provider = self.server_stats_provider
+        if provider is not None:
+            return provider()
+        return {
+            "clients": None,
+            "max_clients": None,
+            "requests_total": None,
+            "requests_per_client": None,
+            "dispatch_queue_depth": None,
+            "backpressured_clients": None,
+            "overlimit_rejects": None,
+            "commit_lag": (self.journal.seq - self.journal.commit_seq
+                           if self.journal is not None else None),
+        }
+
     def stats(self) -> dict:
         """Live counters, plus per-shard occupancy in sharded mode."""
         doc = self.session.snapshot()
@@ -478,6 +575,15 @@ class AdmissionService:
             doc["seq"] = self.journal.seq
             doc["commit_seq"] = self.journal.commit_seq
             doc["commit_lag"] = self.journal.seq - self.journal.commit_seq
+        doc["server"] = self._server_section()
+        # The live optimality headline: a price-carrying policy's dual
+        # certificate is a pure read, so the gap to OPT≤ is available
+        # mid-stream at every poll.
+        cert = certificate_of(self.session.policy)
+        doc["dual_upper_bound"] = cert["upper_bound"] if cert else None
+        self._sync_metrics()
+        doc["metrics"] = self.registry.export()
+        doc["metrics_text"] = self.registry.render_prometheus()
         if self.sharded is not None:
             rows = []
             for s in range(self.sharded.plan.n_shards):
@@ -535,6 +641,10 @@ class AdmissionService:
             svc._restore_state(ckpt)
         for ev in tail:
             svc._apply(ev)
+        # Republish the cumulative gauges from the restored state, so a
+        # dashboard scraping right after a warm restart sees the
+        # pre-kill admit/reject/evict totals, not zeros.
+        svc._sync_metrics()
         return svc, good_bytes, fmt
 
     @classmethod

@@ -50,6 +50,7 @@ from typing import Callable, Iterable
 from ..core.instance import LineProblem, TreeProblem
 
 from ..core.solution import Solution
+from ..obs import tracing as _tracing
 from ..online.events import Arrival, Departure, Tick
 from ..online.metrics import ReplayMetrics, latency_percentiles
 from ..online.policies import AdmissionPolicy
@@ -394,6 +395,13 @@ class AdmissionSession:
             raise TypeError(f"unknown event type {type(event).__name__}")
         self.events += 1
         self.latencies.append(latency)
+        if _tracing.RECORDER.enabled:
+            # Reuse the latency clock the kernel already ran — no extra
+            # timing calls on the decision path.
+            _tracing.record_complete(
+                "session.decide", t0, latency,
+                {"kind": kind, "demand": demand_id, "accepted": accepted},
+            )
         return kind, demand_id, accepted, latency
 
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from ..core.solution import Solution
 from ..io import trace_from_dict, trace_to_dict
+from ..obs import tracing as _tracing
 from ..online.events import EventTrace
 from ..online.metrics import ReplayMetrics
 from ..online.policies import make_policy
@@ -240,6 +241,17 @@ class ShardedDriver:
         be merged exactly without raw samples, so the merged tail is the
         conservative maximum across shard and boundary rows.
         """
+        with _tracing.span("boundary.merge", shards=len(shard_results)):
+            return ShardedDriver._merge_rows(
+                trace, shard_results, boundary_result, wall,
+                broker_certificate)
+
+    @staticmethod
+    def _merge_rows(trace: EventTrace,
+                    shard_results: list[ReplayResult],
+                    boundary_result: ReplayResult | None,
+                    wall: float,
+                    broker_certificate: dict | None = None) -> ReplayMetrics:
         rows = [r.metrics for r in shard_results]
         if boundary_result is not None:
             rows.append(boundary_result.metrics)

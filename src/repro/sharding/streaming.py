@@ -57,6 +57,7 @@ from dataclasses import dataclass, field, replace as dc_replace
 from ..core.conflict import ConflictIndex
 from ..core.demand import TreeDemandInstance
 from ..core.instance import TreeProblem
+from ..obs import tracing as _tracing
 from ..online.events import Arrival, Departure, EventTrace, Tick
 from ..online.metrics import ReplayMetrics, latency_percentiles
 from ..online.policies import make_policy
@@ -448,6 +449,12 @@ def _stream_worker(s, events, ledger, subproblem, meta, policy_name,
     :class:`~repro.session.kernel.ReplayResult` cross the pipe.
     """
     try:
+        recording = _tracing.RECORDER.enabled
+        if recording:
+            # The fork inherited the parent's ring copy-on-write; this
+            # shard's recorder must start empty so the spans it ships
+            # back are exactly its own phase-A work.
+            _tracing.RECORDER.clear()
         policy = make_policy(policy_name, **params)
         session = AdmissionSession(subproblem, policy, ledger=ledger,
                                    trace_meta=meta)
@@ -471,16 +478,21 @@ def _stream_worker(s, events, ledger, subproblem, meta, policy_name,
                 queue.put(("delta", s, done, state["buf"]))
                 state["buf"] = []
 
-        session.feed_many(events, progress_hook=hook, progress_every=1)
-        queue.put(("delta", s, len(events), state["buf"]))
-        state["buf"] = []
-        a0, e0 = state["a"], state["e"]
-        result = session.close(verify=verify)
+        with _tracing.span("shard.phaseA", shard=s):
+            session.feed_many(events, progress_hook=hook, progress_every=1)
+            queue.put(("delta", s, len(events), state["buf"]))
+            state["buf"] = []
+            a0, e0 = state["a"], state["e"]
+            result = session.close(verify=verify)
         # finish() may flush tail admissions (batching policies): ship
         # them as the post-stream delta the eager merge applies after
-        # the last event, before the boundary close.
+        # the last event, before the boundary close.  The shard's span
+        # ring rides the same message (None when tracing is off) and is
+        # merged into the parent recorder at the final barrier.
+        spans = _tracing.RECORDER.drain() if recording else None
         queue.put(("done", s, result,
-                   list(led.admission_log[a0:]), list(led.eviction_log[e0:])))
+                   list(led.admission_log[a0:]), list(led.eviction_log[e0:]),
+                   spans))
     except BaseException as exc:  # surfaced in the parent
         import traceback
 
@@ -674,12 +686,13 @@ class StreamedShardedDriver:
         if self.boundary == "two-phase":
             shard_results = []
             for s in range(n):
-                policy_s = make_policy(policy, **params)
-                session = AdmissionSession(views[s].problem, policy_s,
-                                           ledger=views[s],
-                                           trace_meta=metas[s])
-                session.feed_many(shard_events[s])
-                shard_results.append(session.close(verify=verify))
+                with _tracing.span("shard.phaseA", shard=s):
+                    policy_s = make_policy(policy, **params)
+                    session = AdmissionSession(views[s].problem, policy_s,
+                                               ledger=views[s],
+                                               trace_meta=metas[s])
+                    session.feed_many(shard_events[s])
+                    shard_results.append(session.close(verify=verify))
             return self._finish_two_phase(
                 trace, plan, geometry, shard_results, boundary_policy,
                 verify, stats)
@@ -786,6 +799,7 @@ class StreamedShardedDriver:
                       if eager else None)
         shard_results: list = [None] * n
         tails: list = [None] * n
+        worker_spans: list = [None] * n
         pending: list[list] = [[] for _ in range(n)]  # (gidx, rec) FIFO
         heads = [0] * n  # consumed prefix of pending[s]
         watermark = [0] * n  # events the worker confirmed processed
@@ -870,9 +884,10 @@ class StreamedShardedDriver:
                     pending[s].extend(
                         (shard_gidx[s][rec[0]], rec) for rec in recs)
             elif kind == "done":
-                _, s, result, tail_admits, tail_evicts = msg
+                _, s, result, tail_admits, tail_evicts, spans = msg
                 shard_results[s] = result
                 tails[s] = (tail_admits, tail_evicts)
+                worker_spans[s] = spans
                 done[s] = True
                 remaining -= 1
             else:  # error
@@ -887,6 +902,14 @@ class StreamedShardedDriver:
         for p in procs:
             p.join()
         stats["watermarks"] = list(watermark)
+        if _tracing.RECORDER.enabled:
+            # Merge the shipped per-shard rings at the final barrier, in
+            # shard order — before the serialized tail work records its
+            # own spans, so the merged sequence matches what the inline
+            # transport (shard 0 fully, then shard 1, ...) would record.
+            for spans in worker_spans:
+                if spans:
+                    _tracing.RECORDER.extend(spans)
 
         if not eager:
             return self._finish_two_phase(
@@ -914,13 +937,15 @@ class StreamedShardedDriver:
         :class:`~repro.sharding.ledger.BoundaryBroker` sequence."""
         coordinator = geometry.coordinator
         t_absorb = time.perf_counter()
-        count, profit = _absorb_results(coordinator, plan, shard_results)
+        with _tracing.span("shard.absorb"):
+            count, profit = _absorb_results(coordinator, plan, shard_results)
         absorb_s = time.perf_counter() - t_absorb
         events = plan.boundary_events(trace)
-        session = AdmissionSession.over_ledger(coordinator, boundary_policy,
-                                               trace_meta=trace.meta)
-        session.feed_many(events)
-        result = session.close(verify=verify)
+        with _tracing.span("shard.phaseB", events=len(events)):
+            session = AdmissionSession.over_ledger(
+                coordinator, boundary_policy, trace_meta=trace.meta)
+            session.feed_many(events)
+            result = session.close(verify=verify)
         boundary_result = result if events else None
         stats["_absorbed"] = {"count": count, "profit": profit}
         stats["_certificate"] = session.certificate
