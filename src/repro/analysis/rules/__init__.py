@@ -1,7 +1,9 @@
 """Rule modules; importing this package registers every rule."""
 
 from . import (api_hygiene, certificates, determinism, event_loop,
-               fork_safety, observability, protocol, state_sym)
+               fork_safety, observability, protocol, state_sym,
+               vectorization)
 
 __all__ = ["api_hygiene", "certificates", "determinism", "event_loop",
-           "fork_safety", "observability", "protocol", "state_sym"]
+           "fork_safety", "observability", "protocol", "state_sym",
+           "vectorization"]

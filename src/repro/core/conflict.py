@@ -488,26 +488,43 @@ class ActiveConflictSet:
         self._demand_used[idx._dix[iid]] = True
         self._members.add(iid)
 
-    def add_all(self, iids: Sequence[int]) -> None:
-        """Batch-insert pairwise non-conflicting instances."""
+    def add_all(self, iids: Sequence[int], *,
+                _edges: np.ndarray | None = None,
+                _adds: np.ndarray | None = None) -> None:
+        """Batch-insert pairwise non-conflicting instances.
+
+        ``_edges``/``_adds`` let a caller that has already gathered the
+        instances' concatenated route edges (and the matching repeated
+        heights) pass them in instead of re-gathering — the batch
+        decision kernels' hot path.  The values must equal what the
+        gather here would produce; the load update is the identical
+        fancy-indexed add either way.
+        """
         idx = self._index
         arr = np.asarray(iids, dtype=np.int64)
         if len(arr) == 0:
             return
-        starts = idx._indptr[arr]
-        counts = idx._indptr[arr + 1] - starts
-        total = int(counts.sum())
-        if total:
-            offsets = np.repeat(
-                starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
-            )
-            edges = idx._flat_edges[np.arange(total) + offsets]
+        if _edges is None:
+            starts = idx._indptr[arr]
+            counts = idx._indptr[arr + 1] - starts
+            total = int(counts.sum())
+            if total:
+                offsets = np.repeat(
+                    starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                    counts,
+                )
+                _edges = idx._flat_edges[np.arange(total) + offsets]
+                if self.capacities:
+                    _adds = np.repeat(idx._heights[arr], counts)
+            else:
+                _edges = None
+        if _edges is not None and len(_edges):
             if self.capacities:
                 # Candidates are edge-disjoint, so the fancy-indexed add
                 # touches each position at most once.
-                self._load[edges] += np.repeat(idx._heights[arr], counts)
+                self._load[_edges] += _adds
             else:
-                self._load[edges] += 1.0
+                self._load[_edges] += 1.0
         self._demand_used[idx._dix[arr]] = True
         self._members.update(arr.tolist())
 

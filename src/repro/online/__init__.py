@@ -16,6 +16,10 @@ Layering (bottom-up):
   ``batch-resolve``, plus the preemptive ``preempt-density`` and
   ``preempt-dual-gated`` (eviction with profit forfeiture and optional
   penalties);
+* :mod:`~repro.online.fastpath` — the columnar batch-decision fast
+  path: conflict-free run segmentation plus vectorized kernels for
+  ``greedy-threshold`` and ``dual-gated``, byte-identical to the scalar
+  loop;
 * :mod:`~repro.online.driver` / :mod:`~repro.online.metrics` — the
   replay loop, acceptance/profit/latency metrics, offline benchmarks.
 """
@@ -31,6 +35,12 @@ from .events import (
     diurnal_trace,
     generate_trace,
     poisson_trace,
+)
+from .fastpath import (
+    DemandGeometry,
+    TraceArrays,
+    conflict_free_runs,
+    geometry_of,
 )
 from .metrics import (
     TIMING_FIELDS,
@@ -58,6 +68,7 @@ __all__ = [
     "Arrival",
     "BatchResolve",
     "CapacityLedger",
+    "DemandGeometry",
     "Departure",
     "DualGated",
     "EventTrace",
@@ -69,10 +80,13 @@ __all__ = [
     "ReplayResult",
     "TIMING_FIELDS",
     "Tick",
+    "TraceArrays",
     "bursty_trace",
+    "conflict_free_runs",
     "deterministic_metrics",
     "diurnal_trace",
     "generate_trace",
+    "geometry_of",
     "latency_percentiles",
     "make_policy",
     "offline_optimum",

@@ -40,7 +40,7 @@ __all__ = ["ReplayResult", "assemble_result", "certificate_of", "replay"]
 
 
 def replay(trace: EventTrace, policy: AdmissionPolicy, *,
-           verify: bool = True) -> ReplayResult:
+           verify: bool = True, fastpath: bool = True) -> ReplayResult:
     """Stream ``trace`` through ``policy`` and measure the outcome.
 
     Parameters
@@ -55,8 +55,13 @@ def replay(trace: EventTrace, policy: AdmissionPolicy, *,
     verify:
         Re-check the final admitted set against the problem definition
         (cheap; disable only in throughput benchmarks).
+    fastpath:
+        Allow the session's columnar batch-decision fast path
+        (:mod:`repro.online.fastpath`) when the policy advertises a
+        batch kernel.  Decisions are byte-identical either way;
+        ``False`` pins the scalar loop (the benchmark baseline).
     """
     session = AdmissionSession(trace.problem, policy,
-                               trace_meta=trace.meta)
+                               trace_meta=trace.meta, fastpath=fastpath)
     session.feed_many(trace.events)
     return session.close(verify=verify)

@@ -77,6 +77,18 @@ class AdmissionPolicy:
         (or ``None`` when rejected or deferred)."""
         raise NotImplementedError
 
+    def batch_kernel(self) -> str | None:
+        """Name of this policy's vectorized batch kernel, or ``None``.
+
+        A non-``None`` name (a :data:`repro.online.fastpath.BATCH_KERNELS`
+        key) advertises that ``on_arrival`` can be replayed by the
+        columnar fast path over conflict-free runs, bit-identically.
+        Only policies whose decisions depend solely on the ledger's
+        live loads qualify; anything with per-event buffering or
+        preemption must return ``None`` (the default).
+        """
+        return None
+
     def on_departure(self, demand_id: int) -> None:
         """Called after the driver released a departing demand."""
 
@@ -121,6 +133,9 @@ class GreedyThreshold(AdmissionPolicy):
 
     def on_arrival(self, demand_id: int) -> int | None:
         return self.ledger.try_admit(demand_id, min_density=self.threshold)
+
+    def batch_kernel(self) -> str | None:
+        return "greedy-threshold"
 
 
 class DualGated(AdmissionPolicy):
@@ -195,13 +210,27 @@ class DualGated(AdmissionPolicy):
         self._snap_seen = 0
         self.stats = {"gated": 0, "capacity_blocked": 0, "max_gate": 0.0}
 
+    def batch_kernel(self) -> str | None:
+        # History snapshots are taken per admission along the exact
+        # scalar trajectory; the batch kernel would thin differently,
+        # so the opt-in history mode stays on the scalar path.
+        return None if self.history else "dual-gated"
+
     def _price_from_loads(self, iid: int, loads: np.ndarray) -> float:
         """Height-weighted exponential price of ``iid``'s route at the
-        given per-edge ``loads`` (not necessarily the current ones)."""
+        given per-edge ``loads`` (not necessarily the current ones).
+
+        The route sum runs through ``np.add.reduceat`` — whose per-
+        segment reduction is bit-identical whether it sums one segment
+        or many, independent of buffer alignment — so the batch kernel
+        (:mod:`repro.online.fastpath`) reproduces these prices exactly
+        with one multi-segment call.  (``np.sum``'s pairwise blocking
+        has no such segment-batched equivalent.)
+        """
         if len(loads) == 0:
             return 0.0
         price = self._scale * float(
-            np.sum(np.power(self.mu, loads) - 1.0)
+            np.add.reduceat(np.power(self.mu, loads) - 1.0, [0])[0]
         )
         return self.ledger.instances[iid].height * price
 
@@ -653,6 +682,11 @@ class PreemptDualGated(DualGated, _PreemptiveAdmission):
         if penalty < 0:
             raise ValueError("penalty must be >= 0")
         self.penalty = float(penalty)
+
+    def batch_kernel(self) -> str | None:
+        # Preemption decisions depend on the admitted set per event —
+        # inherently sequential, so no vectorized kernel.
+        return None
 
     def bind(self, ledger: CapacityLedger) -> None:
         super().bind(ledger)

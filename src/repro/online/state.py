@@ -398,6 +398,146 @@ class CapacityLedger:
         self.admit(best)
         return best
 
+    def admit_many(self, iids, *, _prechecked: bool = False,
+                   _demands: list | None = None,
+                   _edges=None, _adds=None) -> None:
+        """Admit a batch of instances with *pairwise edge-disjoint*
+        routes (the conflict-free-run contract), atomically.
+
+        The whole batch is validated before any state changes — every
+        demand new, no demand twice, every route still feasible — so a
+        failed admit leaves no half-applied load (the mirror of the
+        service ``feed`` op's whole-batch validation contract).  The
+        per-admission effects are then applied in batch order: the load
+        scatter-add touches each edge position exactly once
+        (disjointness), and the profit counter accumulates one add per
+        admission in order, exactly the float sequence the scalar
+        :meth:`admit` loop performs.
+
+        ``_prechecked`` skips the validation pass; it is reserved for
+        the batch decision kernels, which have just computed the same
+        feasibility mask the validation would recompute.  ``_demands``,
+        ``_edges`` and ``_adds`` likewise let those kernels hand over
+        the demand ids and pre-gathered route edges/heights they
+        already hold.  External callers get the validating default.
+
+        Raises
+        ------
+        ValueError
+            If any demand was admitted before (or appears twice in the
+            batch), or any instance no longer fits the residual
+            capacity.  The ledger is untouched in that case.
+        """
+        arr = np.asarray(iids, dtype=np.int64)
+        if len(arr) == 0:
+            return
+        t0 = time.perf_counter_ns() if _REC.enabled else 0
+        demands = (_demands if _demands is not None else
+                   [self.instances[iid].demand_id for iid in arr.tolist()])
+        if not _prechecked:
+            seen: set[int] = set()
+            for d in demands:
+                if d in self._ever_admitted or d in seen:
+                    raise ValueError(f"demand {d} was already admitted")
+                seen.add(d)
+            idx = self.index
+            starts = idx._indptr[arr]
+            counts = idx._indptr[arr + 1] - starts
+            total = int(counts.sum())
+            if total:
+                offsets = np.repeat(
+                    starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                    counts,
+                )
+                loads = self.active._load[
+                    idx._flat_edges[np.arange(total) + offsets]
+                ]
+                seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                nonempty = counts > 0
+                seg_max = np.zeros(len(arr), dtype=np.float64)
+                if nonempty.any():
+                    seg_max[nonempty] = np.maximum.reduceat(
+                        loads, seg_starts[nonempty]
+                    )
+                # Empty routes are exempt, matching the single-instance
+                # probe :meth:`admit` itself performs.
+                bad = (seg_max + idx._heights[arr] > 1.0 + 1e-9) & nonempty
+                if bad.any():
+                    culprit = int(arr[bad][0])
+                    raise ValueError(
+                        f"instance {culprit} no longer fits the residual "
+                        f"capacity"
+                    )
+        # Validation passed — apply.  add_all performs the batched
+        # scatter-add (bit-identical to per-instance adds on disjoint
+        # routes) plus the demand-used/member bookkeeping.
+        self.active.add_all(arr, _edges=_edges, _adds=_adds)
+        for iid, d in zip(arr.tolist(), demands):
+            self._admitted[d] = iid
+            self._ever_admitted.add(d)
+            self.admission_log.append((d, iid))
+            # repro: noqa[CERT001] -- deliberate += in admission order:
+            # the batch must bit-match the scalar loop's per-event
+            # accumulation, which fsum's exact rounding would not.
+            self._profit_admitted += float(self.instances[iid].profit)
+            for eid in self._route_edge_list(iid):
+                self._holders_by_edge[eid].add(d)
+        if t0:
+            _REC.record("ledger.admit_many", t0,
+                        time.perf_counter_ns() - t0,
+                        {"admitted": len(arr)})
+
+    def release_many(self, demand_ids, *, _disjoint: bool = False) -> list[int]:
+        """Release a batch of departed demands; returns their instances.
+
+        The whole batch is validated first (every demand currently
+        admitted), so a bad entry leaves the ledger untouched.  The
+        load subtraction runs as one ``np.subtract.at`` over the
+        concatenated routes — the index array is in batch order, and
+        ``ufunc.at`` applies updates in index order, so the float
+        sequence per edge is exactly the scalar per-demand loop's.
+        ``_disjoint`` (fast-path internal) promises the released routes
+        are pairwise edge-disjoint, so the scatter touches each position
+        once and a plain fancy subtract performs the identical single
+        float subtraction per edge.
+        """
+        dlist = [int(d) for d in demand_ids]
+        iids = []
+        for d in dlist:
+            iid = self._admitted.get(d)
+            if iid is None:
+                raise KeyError(f"demand {d} is not admitted")
+            iids.append(iid)
+        if not iids:
+            return []
+        t0 = time.perf_counter_ns() if _REC.enabled else 0
+        idx = self.index
+        arr = np.asarray(iids, dtype=np.int64)
+        starts = idx._indptr[arr]
+        counts = idx._indptr[arr + 1] - starts
+        total = int(counts.sum())
+        if total:
+            rel = np.zeros(len(arr), dtype=np.int64)
+            np.cumsum(counts[:-1], out=rel[1:])
+            offsets = np.repeat(starts - rel, counts)
+            edges = idx._flat_edges[np.arange(total) + offsets]
+            subs = np.repeat(idx._heights[arr], counts)
+            if _disjoint:
+                self.active._load[edges] -= subs
+            else:
+                np.subtract.at(self.active._load, edges, subs)
+        self.active._demand_used[idx._dix[arr]] = False
+        for d, iid in zip(dlist, iids):
+            del self._admitted[d]
+            self.active._members.discard(iid)
+            for eid in self._route_edge_list(iid):
+                self._holders_by_edge[eid].discard(d)
+        if t0:
+            _REC.record("ledger.release_many", t0,
+                        time.perf_counter_ns() - t0,
+                        {"released": len(dlist)})
+        return iids
+
     def _remove(self, demand_id: int) -> int:
         """Drop a demand from the admitted set and the holder map."""
         try:

@@ -257,11 +257,14 @@ class AdmissionService:
         adm0 = len(self.session.ledger.admission_log)
         if self.sharded is None:
             # No mirroring to drive, so skip Decision assembly entirely.
-            session = self.session
+            # feed_many engages the columnar batch-decision fast path
+            # when the policy advertises a kernel (decisions and journal
+            # bytes are identical either way — the journal was written
+            # above, before any state changed).
+            self.session.feed_many(evs)
             arrived, departed = self._arrived, self._departed
             last = self._last_time
             for ev in evs:
-                session.feed(ev)
                 if isinstance(ev, Arrival):
                     arrived.add(ev.demand_id)
                 elif isinstance(ev, Departure):
@@ -472,7 +475,12 @@ class AdmissionService:
                 return {"ok": True, "op": op,
                         **self.query(int(req["demand"]))}
             if op == "stats":
-                return {"ok": True, "op": op, "stats": self.stats()}
+                doc = self.stats()
+                # The fast-path counters ride along top-level too, so a
+                # dashboard polling for batching health needs no
+                # deep-path knowledge of the stats document.
+                return {"ok": True, "op": op, "stats": doc,
+                        "fastpath": doc["fastpath"]}
             if op == "snapshot":
                 return {"ok": True, "op": op,
                         "solution": solution_to_dict(self.session.solution())}
@@ -545,6 +553,12 @@ class AdmissionService:
         reg.gauge("repro_commit_lag").set(
             self.journal.seq - self.journal.commit_seq
             if self.journal is not None else 0)
+        fp = self.session.fastpath_stats
+        reg.gauge("repro_fastpath_runs_total").set(fp["runs"])
+        reg.gauge("repro_fastpath_batched_events_total").set(
+            fp["batched_events"])
+        reg.gauge("repro_fastpath_scalar_fallbacks_total").set(
+            fp["scalar_fallbacks"])
 
     def _server_section(self) -> dict:
         """The transport block — real counters under the async front
@@ -571,6 +585,10 @@ class AdmissionService:
         doc["position"] = self.position
         doc["policy"] = self.policy_name
         doc["journaled"] = self.journal is not None
+        # Columnar fast-path health: whether the session engaged the
+        # batch kernels, and how much of the stream they actually
+        # vectorized (live counters, not checkpointed state).
+        doc["fastpath"] = dict(self.session.fastpath_stats)
         if self.journal is not None:
             doc["seq"] = self.journal.seq
             doc["commit_seq"] = self.journal.commit_seq

@@ -216,6 +216,11 @@ class AdmissionSession:
         Capture the ledger's current counters and report the close-time
         result as deltas over them (and omit ``final_solution``, since
         the attached ledger outlives the session).
+    fastpath:
+        Allow :meth:`feed_many` to engage the columnar batch-decision
+        fast path (:mod:`repro.online.fastpath`) when the policy
+        advertises a batch kernel.  Decisions are byte-identical either
+        way; ``False`` pins the scalar loop (the benchmark baseline).
 
     Notes
     -----
@@ -230,7 +235,8 @@ class AdmissionSession:
                  policy: AdmissionPolicy, *,
                  ledger: CapacityLedger | None = None,
                  trace_meta: dict | None = None,
-                 delta_baseline: bool = False) -> None:
+                 delta_baseline: bool = False,
+                 fastpath: bool = True) -> None:
         self.problem = problem
         self.ledger = ledger if ledger is not None else CapacityLedger(problem)
         self.policy = policy
@@ -253,6 +259,26 @@ class AdmissionSession:
         #: The policy's price certificate, populated at :meth:`close`.
         self.certificate: dict | None = None
         self.closed = False
+        #: Columnar fast-path telemetry (never checkpointed: the scalar
+        #: and batched paths are byte-identical, so a warm restart may
+        #: legitimately disagree on *how* events were executed).
+        self.fastpath_stats = {"enabled": False, "runs": 0,
+                               "batched_events": 0, "scalar_fallbacks": 0,
+                               "max_run_len": 0}
+        self._fast = None
+        kern = policy.batch_kernel() if hasattr(policy, "batch_kernel") \
+            else None
+        if (fastpath and kern is not None
+                and type(policy).on_departure is AdmissionPolicy.on_departure
+                and type(policy).on_tick is AdmissionPolicy.on_tick):
+            # Engage only when departures and ticks are provably no-ops
+            # for the policy (the base hooks), so batching them inside
+            # a run cannot change any decision.  The geometry build is
+            # part of session construction, before the throughput clock
+            # starts — same convention as the ledger build.
+            from ..online.fastpath import FastFeeder
+            self._fast = FastFeeder(self, kern)
+            self.fastpath_stats["enabled"] = True
         self._t0 = time.perf_counter()
 
     @classmethod
@@ -319,6 +345,14 @@ class AdmissionSession:
         """
         dispatch = self._dispatch
         if progress_hook is None:
+            if self._fast is not None:
+                # The columnar fast path: conflict-free runs decided by
+                # the policy's batch kernel, byte-identical to the
+                # scalar loop below.  Per-event progress hooks are
+                # incompatible with batching, so the hooked path stays
+                # scalar.
+                self._fast.feed(events)
+                return
             for event in events:
                 dispatch(event)
             return

@@ -440,13 +440,21 @@ class _EagerBoundary:
 
 
 def _stream_worker(s, events, ledger, subproblem, meta, policy_name,
-                   params, verify, emit_every, queue):
+                   params, verify, emit_every, queue, eager=True):
     """One shard worker: feed the local stream, streaming deltas +
     watermarks through ``queue`` every ``emit_every`` events.
 
     The ledger (with its sliced index) is built pre-fork in the parent
     and inherited copy-on-write; only the delta messages and the final
     :class:`~repro.session.kernel.ReplayResult` cross the pipe.
+
+    Only the eager merge consumes delta *contents* (the two-phase
+    parent reads nothing but the final watermark), so with
+    ``eager=False`` the worker skips the per-event progress hook
+    entirely and feeds the whole stream through ``feed_many`` — which
+    lets the session engage the columnar batch-decision fast path —
+    then ships one final watermark.  Decisions are identical either
+    way; only the message traffic differs.
     """
     try:
         recording = _tracing.RECORDER.enabled
@@ -459,6 +467,17 @@ def _stream_worker(s, events, ledger, subproblem, meta, policy_name,
         session = AdmissionSession(subproblem, policy, ledger=ledger,
                                    trace_meta=meta)
         led = session.ledger
+        if not eager:
+            with _tracing.span("shard.phaseA", shard=s):
+                session.feed_many(events)
+                queue.put(("delta", s, len(events), []))
+                result = session.close(verify=verify)
+            spans = _tracing.RECORDER.drain() if recording else None
+            # The two-phase parent never reads the tail logs (it works
+            # from the absorbed shard results), so ship empty tails in
+            # the same message shape.
+            queue.put(("done", s, result, [], [], spans))
+            return
         state = {"a": 0, "e": 0, "buf": []}
 
         def hook(done: int) -> None:
@@ -779,7 +798,7 @@ class StreamedShardedDriver:
                 target=_stream_worker,
                 args=(s, shard_events[s], views[s], views[s].problem,
                       metas[s], policy, params, verify, self.emit_every,
-                      queue),
+                      queue, self.boundary == "eager"),
                 daemon=True,
             )
             for s in range(n)
